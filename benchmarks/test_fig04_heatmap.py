@@ -1,0 +1,35 @@
+"""Fig. 4 — precision heatmaps of the KRR kernel matrix.
+
+Paper result: with the tile-centric adaptive precision rule, diagonal
+tiles stay FP32 while every off-diagonal tile drops to the hardware
+floor — FP16 on A100 (Fig. 4a), FP8 on GH200 (Fig. 4b).
+"""
+
+from conftest import run_once
+
+from repro.experiments.heatmap import run_precision_heatmaps
+from repro.precision import Precision
+
+
+def test_fig04_precision_heatmaps(benchmark, accuracy_scale):
+    results = run_once(benchmark, run_precision_heatmaps, scale=accuracy_scale)
+
+    print("\n=== Fig. 4: adaptive-precision tile mosaics ===")
+    for gpu, experiment in results.items():
+        hm = experiment.heatmap
+        print(f"\n[{gpu}] floor = {experiment.low_precision.value}")
+        print(hm.render())
+        print("tile fractions: "
+              + ", ".join(f"{p.value}={f:.2f}" for p, f in hm.fractions.items()))
+        print(f"off-diagonal tiles at floor: {experiment.offdiagonal_low_fraction:.0%}; "
+              f"footprint reduction vs FP32: {experiment.footprint_reduction:.2f}x")
+
+    # shape assertions (paper: all off-diagonal tiles at the floor)
+    a100, gh200 = results["A100"], results["GH200"]
+    assert a100.low_precision is Precision.FP16
+    assert gh200.low_precision is Precision.FP8_E4M3
+    assert a100.offdiagonal_low_fraction > 0.9
+    assert gh200.offdiagonal_low_fraction > 0.9
+    assert a100.diagonal_working_fraction == 1.0
+    assert gh200.diagonal_working_fraction == 1.0
+    assert gh200.footprint_reduction > a100.footprint_reduction > 1.3

@@ -1,0 +1,32 @@
+"""Fig. 7 — Build-phase (INT8 distance SYRK) weak scaling on Alps.
+
+Paper series: 107.4, 208.1, 382.7, 671.0, 1296.0 PFlop/s on 256→4096
+GH200 superchips — a 12.07x speedup (75% parallel efficiency) and more
+than 1 ExaOp/s of INT8 throughput at the largest scale.
+"""
+
+from conftest import run_once
+
+from repro.experiments.perf_figures import run_fig07_build_scaling
+from repro.experiments.report import format_table
+
+PAPER_SERIES = {256: 107.40, 512: 208.07, 1024: 382.73, 2048: 671.03, 4096: 1296.00}
+
+
+def test_fig07_build_weak_scaling(benchmark):
+    series = run_once(benchmark, run_fig07_build_scaling)
+
+    rows = [{"GPUs": int(x), "model PFlop/s": y, "paper PFlop/s": PAPER_SERIES[int(x)]}
+            for x, y in zip(series.x, series.y)]
+    print("\n=== Fig. 7: Build phase weak scaling on Alps ===")
+    print(format_table(rows, precision=4))
+    print(f"speedup 256 -> 4096 GPUs: {series.meta['speedup']:.2f}x "
+          f"(paper: 12.07x)")
+
+    # monotone increase, >1 ExaOp/s at 4096 GPUs, speedup in the paper's range
+    assert series.y == sorted(series.y)
+    assert series.y[-1] > 1000.0
+    assert 10.0 <= series.meta["speedup"] <= 16.0
+    # model within ~35% of the paper's absolute numbers at every point
+    for x, y in zip(series.x, series.y):
+        assert abs(y - PAPER_SERIES[int(x)]) / PAPER_SERIES[int(x)] < 0.35

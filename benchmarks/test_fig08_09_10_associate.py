@@ -1,0 +1,64 @@
+"""Figs. 8–10 — Associate-phase (MxP Cholesky) scaling across GPU generations.
+
+Paper results at 1024 nodes of each system:
+
+* Summit (Fig. 8c):   FP64/FP16 ≈ 154 PFlop/s, ~6.2x over FP64.
+* Leonardo (Fig. 9c): FP64/FP16 ≈ 243 PFlop/s, ~3.6x over FP64/FP32.
+* Alps (Fig. 10c):    FP32/FP16 ≈ 440 and FP32/FP8 ≈ 667 PFlop/s,
+  3.2x and 4.8x over FP32.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.perf_figures import run_fig08_to_10_associate
+from repro.experiments.report import format_table
+
+
+def _print(system, series):
+    print(f"\n=== Associate phase on {system} (largest matrix size) ===")
+    rows = []
+    for label, s in series.items():
+        rows.append({"precision mix": label, "matrix size": int(s.x[-1]),
+                     "PFlop/s": s.y[-1]})
+    print(format_table(rows, precision=4))
+
+
+def test_fig08_summit_associate(benchmark):
+    series = run_once(benchmark, run_fig08_to_10_associate, system="Summit",
+                      n_gpus=6144)
+    _print("Summit (6144 V100s)", series)
+    fp64 = series["FP64"].y[-1]
+    fp16 = series["FP64/FP16"].y[-1]
+    fp32 = series["FP64/FP32"].y[-1]
+    # FP16 mix gives the largest speedup over FP64; ratios in the paper's range
+    assert fp16 > fp32 > fp64
+    assert 4.0 < fp16 / fp64 < 8.0
+    assert 100.0 < fp16 < 220.0  # paper: ~154 PFlop/s
+
+
+def test_fig09_leonardo_associate(benchmark):
+    series = run_fig08_to_10_associate(system="Leonardo", n_gpus=4096)
+    run_once(benchmark, run_fig08_to_10_associate, system="Leonardo", n_gpus=4096)
+    _print("Leonardo (4096 A100s)", series)
+    fp16 = series["FP64/FP16"].y[-1]
+    fp32 = series["FP64/FP32"].y[-1]
+    assert 2.5 < fp16 / fp32 < 4.5   # paper: 3.6x
+    assert 180.0 < fp16 < 300.0      # paper: ~243 PFlop/s
+
+
+def test_fig10_alps_associate(benchmark):
+    series = run_fig08_to_10_associate(system="Alps", n_gpus=4096)
+    run_once(benchmark, run_fig08_to_10_associate, system="Alps", n_gpus=4096)
+    _print("Alps (4096 GH200s)", series)
+    fp32 = series["FP32"].y[-1]
+    fp16 = series["FP32/FP16"].y[-1]
+    fp8 = series["FP32/FP8_E4M3"].y[-1]
+    assert fp8 > fp16 > fp32
+    assert 2.5 < fp16 / fp32 < 4.0        # paper: 3.2x
+    assert 3.8 < fp8 / fp32 < 5.5         # paper: 4.8x
+    assert fp16 == pytest.approx(440.0, rel=0.25)
+    assert fp8 == pytest.approx(667.0, rel=0.25)
+    # throughput grows (or saturates) with the matrix size
+    for s in series.values():
+        assert s.y[-1] >= s.y[0] * 0.95

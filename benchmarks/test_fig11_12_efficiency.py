@@ -1,0 +1,58 @@
+"""Figs. 11–12 — weak/strong scaling of the Associate phase per GPU.
+
+Paper results: weak scaling is near-perfect (~57 TFlop/s per A100 on
+Leonardo, ~100-160 TFlop/s per GH200 on Alps); strong scaling drops to
+roughly 50% parallel efficiency at 4096 GPUs when the low precisions
+are engaged, while the higher-precision runs keep ~77-81%.
+"""
+
+from conftest import run_once
+
+from repro.experiments.perf_figures import run_fig11_12_efficiency
+from repro.experiments.report import format_table
+
+
+def _print(system, result):
+    print(f"\n=== Associate scaling efficiency on {system} ===")
+    for kind in ("weak", "strong"):
+        rows = []
+        for label, series in result[kind].items():
+            for x, y in zip(series.x, series.y):
+                rows.append({"mode": kind, "precision mix": label,
+                             "GPUs": int(x), "efficiency": y})
+        print(format_table(rows, precision=3))
+
+
+def test_fig11_leonardo_efficiency(benchmark):
+    result = run_once(benchmark, run_fig11_12_efficiency, system="Leonardo")
+    _print("Leonardo", result)
+
+    for series in result["weak"].values():
+        assert min(series.y) > 0.75          # near-perfect weak scaling
+    strong = {label: s.y[-1] for label, s in result["strong"].items()}
+    # FP16 mix loses the most efficiency (paper: ~50% vs 81%)
+    assert strong["FP64/FP16"] < strong["FP64/FP32"]
+    assert 0.3 < strong["FP64/FP16"] < 0.75
+
+    per_gpu = result["weak"]["FP64/FP16"].meta["per_gpu_tflops"][0]
+    print(f"per-GPU FP64/FP16 weak-scaling rate: {per_gpu:.1f} TFlop/s "
+          "(paper: ~57)")
+    assert 40.0 < per_gpu < 75.0
+
+
+def test_fig12_alps_efficiency(benchmark):
+    result = run_once(benchmark, run_fig11_12_efficiency, system="Alps")
+    _print("Alps", result)
+
+    for series in result["weak"].values():
+        assert min(series.y) > 0.75
+    strong = {label: s.y[-1] for label, s in result["strong"].items()}
+    # the lower the precision, the lower the strong-scaling efficiency
+    assert strong["FP32"] >= strong["FP32/FP16"] >= strong["FP32/FP8_E4M3"]
+    assert strong["FP32/FP8_E4M3"] < 0.8
+    assert strong["FP32"] > 0.75
+
+    per_gpu_fp8 = result["weak"]["FP32/FP8_E4M3"].meta["per_gpu_tflops"][0]
+    print(f"per-GPU FP32/FP8 weak-scaling rate: {per_gpu_fp8:.1f} TFlop/s "
+          "(paper: ~159)")
+    assert 100.0 < per_gpu_fp8 < 200.0

@@ -1,0 +1,37 @@
+"""Fig. 13 — end-to-end KRR weak scaling on Alps vs the NS/NP ratio.
+
+Paper result: the overall KRR throughput increases with the SNP-to-
+patient ratio (the Build phase, whose share grows with NS, has the
+highest throughput), for both the FP32/FP16 and FP32/FP8 configurations.
+"""
+
+from conftest import run_once
+
+from repro.experiments.perf_figures import run_fig13_krr_weak_scaling
+from repro.experiments.report import format_table
+
+
+def test_fig13_krr_weak_scaling(benchmark):
+    fp16 = run_once(benchmark, run_fig13_krr_weak_scaling, low_precision="FP16")
+    fp8 = run_fig13_krr_weak_scaling(low_precision="FP8_E4M3")
+
+    print("\n=== Fig. 13: KRR weak scaling on Alps (PFlop/s at 4096 GPUs) ===")
+    rows = []
+    for ratio in sorted(fp16):
+        rows.append({"NS/NP ratio": ratio,
+                     "FP32/FP16": fp16[ratio].y[-1],
+                     "FP32/FP8": fp8[ratio].y[-1]})
+    print(format_table(rows, precision=4))
+
+    # throughput grows with the SNP ratio for both precision configurations
+    for series in (fp16, fp8):
+        finals = [series[r].y[-1] for r in sorted(series)]
+        assert finals == sorted(finals)
+        # weak scaling: throughput grows monotonically with GPU count
+        for s in series.values():
+            assert s.y == sorted(s.y)
+
+    # FP8 helps only the Associate phase, so its advantage shrinks as NS grows
+    gain_at_1 = fp8[1].y[-1] / fp16[1].y[-1]
+    gain_at_5 = fp8[5].y[-1] / fp16[5].y[-1]
+    assert gain_at_1 >= gain_at_5 >= 1.0

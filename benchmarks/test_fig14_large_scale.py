@@ -1,0 +1,60 @@
+"""Fig. 14 — large-scale breakdown and cross-system comparison.
+
+Paper results: (a–d) on 1024–1936 Alps nodes the Build phase sustains
+the highest throughput and keeps the end-to-end KRR scaling; (e) across
+systems, Alps reaches 2.109 ExaOp/s for Build and 1.805 ExaOp/s for the
+full KRR — about five orders of magnitude above the CPU-only REGENIE
+baseline credited with a full dual-socket Genoa node.
+"""
+
+from conftest import run_once
+
+from repro.experiments.perf_figures import run_fig14_breakdown, run_fig14e_systems
+from repro.experiments.report import format_table
+
+
+def test_fig14abcd_phase_breakdown(benchmark):
+    breakdown = run_once(benchmark, run_fig14_breakdown)
+
+    print("\n=== Fig. 14a-d: phase breakdown on Alps ===")
+    for nodes, rows in breakdown.items():
+        print(f"\n{nodes} nodes ({nodes * 4} GH200s)")
+        print(format_table(rows, precision=4))
+
+    for nodes, rows in breakdown.items():
+        for row in rows:
+            # the Build phase dominates; KRR sits between Associate and Build
+            assert row["build_pflops"] > row["associate_pflops"]
+            assert row["associate_pflops"] < row["krr_pflops"] <= row["build_pflops"]
+        # larger matrices do not lose throughput (weak-scaling regime)
+        krr = [r["krr_pflops"] for r in rows]
+        assert krr[-1] >= krr[0] * 0.9
+
+    # more nodes -> more throughput at the memory-limited size
+    largest = {nodes: rows[-1]["krr_pflops"] for nodes, rows in breakdown.items()}
+    ordered = [largest[n] for n in sorted(largest)]
+    assert ordered == sorted(ordered)
+
+
+def test_fig14e_cross_system_and_regenie(benchmark):
+    result = run_once(benchmark, run_fig14e_systems)
+
+    print("\n=== Fig. 14e: cross-system comparison ===")
+    print(format_table(result["systems"], precision=4))
+    print(f"Alps end-to-end KRR: {result['alps_krr_exaops']:.2f} ExaOp/s "
+          "(paper: 1.805)")
+    print(f"Headroom over REGENIE: {result['regenie_speedup']:.2e}x "
+          f"(~{result['regenie_orders_of_magnitude']:.1f} orders of magnitude; "
+          "paper: ~5)")
+
+    rows = {r["system"]: r for r in result["systems"]}
+    # Alps leads; > 1 ExaOp/s end-to-end; Frontier second
+    assert rows["Alps"]["krr_pflops"] == max(r["krr_pflops"]
+                                             for r in result["systems"])
+    assert result["alps_krr_exaops"] > 1.0
+    assert rows["Frontier"]["krr_pflops"] > rows["Leonardo"]["krr_pflops"]
+    # Alps beats Leonardo by >2x on the Associate phase (paper: 2x per GPU,
+    # 4x with twice the GPUs)
+    assert rows["Alps"]["associate_pflops"] > 2.0 * rows["Leonardo"]["associate_pflops"]
+    # the REGENIE comparison lands at about five orders of magnitude
+    assert 4.5 <= result["regenie_orders_of_magnitude"] <= 6.5

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: mixed-precision KRR GWAS on a synthetic cohort.
+
+Runs the full three-phase workflow of the paper (Build / Associate /
+Predict) on a small UK-BioBank-like synthetic cohort and compares the
+Kernel Ridge Regression (KRR) predictions against the linear Ridge
+Regression (RR) baseline — the headline accuracy comparison of the
+paper (Table I / Fig. 5).
+
+Usage::
+
+    python examples/quickstart.py [--individuals 600] [--snps 64]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data import make_ukb_like_cohort
+from repro.experiments.report import format_table
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.gwas.workflow import GWASWorkflow
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--individuals", type=int, default=600,
+                        help="cohort size (patients)")
+    parser.add_argument("--snps", type=int, default=64,
+                        help="number of SNPs")
+    parser.add_argument("--diseases", type=int, default=3,
+                        help="number of disease phenotypes to analyse")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print(f"Simulating a UK-BioBank-like cohort: {args.individuals} patients "
+          f"x {args.snps} SNPs ...")
+    cohort = make_ukb_like_cohort(
+        n_individuals=args.individuals, n_snps=args.snps, seed=args.seed,
+    )
+    # keep the requested number of diseases
+    keep = min(args.diseases, cohort.n_phenotypes)
+    names = cohort.phenotype_names[:keep]
+
+    workflow = GWASWorkflow(cohort, train_fraction=0.8, seed=0)
+
+    print("Running linear Ridge Regression (RR) GWAS ...")
+    rr = workflow.run_rr(RRConfig(regularization=10.0, tile_size=32,
+                                  precision_plan=PrecisionPlan.adaptive_fp16()))
+
+    print("Running mixed-precision Kernel Ridge Regression (KRR) GWAS ...")
+    krr = workflow.run_krr(KRRConfig(tile_size=64,
+                                     precision_plan=PrecisionPlan.adaptive_fp16()))
+
+    rows = []
+    for name in names:
+        rows.append({
+            "phenotype": name,
+            "RR MSPE": rr.mspe(name),
+            "KRR MSPE": krr.mspe(name),
+            "RR Pearson": rr.pearson(name),
+            "KRR Pearson": krr.pearson(name),
+        })
+    print()
+    print(format_table(rows, precision=3))
+    print()
+    print(f"Mean Pearson correlation:  RR = {rr.mean_pearson():.3f}   "
+          f"KRR = {krr.mean_pearson():.3f}")
+    print("KRR captures the epistatic (non-linear) part of the genetic signal "
+          "that the linear model misses.")
+    if krr.phase_flops:
+        build = krr.phase_flops.get("build", 0.0)
+        associate = krr.phase_flops.get("associate", 0.0)
+        print(f"Operation counts: Build = {build:.3e}, Associate = {associate:.3e}")
+
+
+if __name__ == "__main__":
+    main()

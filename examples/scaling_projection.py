@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Project the GWAS workload onto the paper's supercomputers.
+
+Uses the calibrated machine model (``repro.perfmodel``) to answer the
+questions behind Figs. 7–14: how fast does the Build / Associate /
+full-KRR pipeline run on Summit, Leonardo, Frontier and Alps, how do
+the FP16 and FP8 floors compare, and how does the mixed-precision KRR
+solver compare against the CPU-only REGENIE baseline.
+
+Usage::
+
+    python examples/scaling_projection.py [--system Alps] [--gpus 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.report import format_table
+from repro.perfmodel import (
+    MachineModel,
+    regenie_comparison,
+    system_comparison,
+    weak_scaling_series,
+)
+from repro.precision import Precision
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--system", default="Alps",
+                        choices=["Summit", "Leonardo", "Frontier", "Alps"])
+    parser.add_argument("--gpus", type=int, default=4096)
+    args = parser.parse_args()
+
+    model = MachineModel(system=args.system)
+    n = model.matrix_size_for_memory(args.gpus)
+    print(f"=== {args.system}, {args.gpus} GPUs, kernel matrix order "
+          f"{n / 1e6:.2f}M (memory-limited) ===\n")
+
+    rows = []
+    for low in (Precision.FP32, Precision.FP16, Precision.FP8_E4M3):
+        estimates = model.krr_estimate(n, n, args.gpus, low_precision=low)
+        rows.append({
+            "precision mix": f"FP32/{low.value.upper()}",
+            "Build PFlop/s": estimates["build"].throughput / 1e15,
+            "Associate PFlop/s": estimates["associate"].throughput / 1e15,
+            "KRR PFlop/s": estimates["krr"].throughput / 1e15,
+            "time (s)": estimates["krr"].time,
+        })
+    print(format_table(rows, precision=4))
+
+    print("\nWeak scaling of the Associate phase (FP8 floor):")
+    series = weak_scaling_series(model, [256, 512, 1024, 2048, 4096],
+                                 phase="associate",
+                                 low_precision=Precision.FP8_E4M3)
+    print(format_table([{
+        "GPUs": p.n_gpus, "matrix size": p.matrix_size,
+        "PFlop/s": p.throughput / 1e15, "efficiency": p.efficiency,
+    } for p in series], precision=3))
+
+    print("\nCross-system comparison at the paper's scales (Fig. 14e):")
+    print(format_table([r.as_dict() for r in system_comparison()], precision=4))
+
+    comparison = regenie_comparison()
+    print(f"\nHeadroom over CPU-only REGENIE (credited with a full dual-socket "
+          f"Genoa node): {comparison.speedup:.2e}x "
+          f"(~{comparison.orders_of_magnitude:.1f} orders of magnitude)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+minimal/offline environments where the ``wheel`` package (required by
+PEP 660 editable builds with older setuptools) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — Mixed-Precision Kernel Ridge Regression for multivariate GWAS.
+
+Reproduction of Ltaief et al., "Toward Capturing Genetic Epistasis From
+Multivariate Genome-Wide Association Studies Using Mixed-Precision Kernel
+Ridge Regression" (SC 2024, Gordon Bell finalist).
+
+The package is organised around the paper's three-phase KRR workflow
+(Build / Associate / Predict) and the substrates it depends on:
+
+``repro.precision``
+    Software-emulated low-precision arithmetic (FP64/FP32/FP16/BF16,
+    FP8 E4M3/E5M2, INT8) and the tensor-core style mixed-precision
+    GEMM/SYRK variants used throughout the paper.
+``repro.tiles``
+    Tiled matrix storage with a per-tile precision mosaic, the
+    tile-centric adaptive precision rule, and band ("rainbow")
+    precision assignments.
+``repro.runtime``
+    A PaRSEC-like dynamic task runtime: task DAGs, a dataflow
+    scheduler over simulated devices, and a communication engine that
+    decides whether precision conversion happens at the sender or the
+    receiver.
+``repro.linalg``
+    Tiled mixed-precision Cholesky factorization, triangular solves,
+    SYRK and GEMM drivers built on the tile kernels.
+``repro.distance``
+    GEMM-form squared Euclidean distances (the INT8 tensor-core trick),
+    Gaussian and IBS kernels, and the fused Build phase.
+``repro.gwas``
+    The paper's contribution: ridge regression (RR) and kernel ridge
+    regression (KRR) multivariate GWAS with mixed-precision plans,
+    metrics, and cross-validation.
+``repro.data``
+    Synthetic genotype/phenotype generation (LD-block and coalescent
+    simulators, UK-BioBank-like cohorts) replacing the restricted-access
+    datasets used in the paper.
+``repro.baselines``
+    Univariate GWAS, REGENIE-like stacked ridge regression, and a
+    GRM-based linear mixed model.
+``repro.perfmodel``
+    Machine/system performance models used to regenerate the paper's
+    supercomputer-scale performance figures.
+``repro.experiments``
+    One driver per paper table/figure.
+"""
+
+from repro.precision import Precision
+from repro.data.dataset import GWASDataset, TrainTestSplit
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.gwas.krr import KernelRidgeRegressionGWAS
+from repro.gwas.metrics import mspe, pearson_correlation
+from repro.gwas.ridge import RidgeRegressionGWAS
+
+__all__ = [
+    "Precision",
+    "GWASDataset",
+    "TrainTestSplit",
+    "RidgeRegressionGWAS",
+    "KernelRidgeRegressionGWAS",
+    "KRRConfig",
+    "RRConfig",
+    "PrecisionPlan",
+    "mspe",
+    "pearson_correlation",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,26 @@
+"""Baseline GWAS methods the paper compares against or builds upon.
+
+* :mod:`repro.baselines.univariate` — the classical per-SNP association
+  scan (one linear test per SNP with multiple-testing correction), the
+  "dominant approach" the paper's introduction contrasts with
+  multivariate methods.
+* :mod:`repro.baselines.regenie` — a REGENIE-like stacked block-ridge
+  whole-genome regression (the state-of-the-art CPU software the paper
+  compares throughput against in Sec. VII-F).
+* :mod:`repro.baselines.lmm` — a simple GRM-based linear mixed model
+  (the BOLT-LMM / fastGWA family), included for completeness of the
+  related-work methods of Sec. IV.
+"""
+
+from repro.baselines.univariate import UnivariateGWAS, UnivariateResult
+from repro.baselines.regenie import RegenieLikeRegression, RegenieConfig
+from repro.baselines.lmm import GRMLinearMixedModel, genetic_relationship_matrix
+
+__all__ = [
+    "UnivariateGWAS",
+    "UnivariateResult",
+    "RegenieLikeRegression",
+    "RegenieConfig",
+    "GRMLinearMixedModel",
+    "genetic_relationship_matrix",
+]

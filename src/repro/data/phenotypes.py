@@ -1,0 +1,185 @@
+"""Phenotype simulation with additive, epistatic and confounder effects.
+
+The paper's central accuracy claim is that KRR captures *epistasis* —
+non-additive interactions between loci — that linear RR misses
+(Table I: Pearson correlation 0.20–0.32 for RR vs 0.81–0.87 for KRR).
+To reproduce that gap with synthetic data, the generative model must
+contain a substantial non-linear genetic component.  The
+:class:`PhenotypeModel` mixes four variance components:
+
+* additive SNP effects (classical polygenic signal),
+* pairwise epistatic (product) interactions between randomly paired
+  causal SNPs,
+* confounder effects (age, sex, principal components), and
+* Gaussian environmental noise.
+
+Quantitative traits are returned standardized; disease-like binary
+traits use the liability-threshold model with a configurable
+prevalence, mirroring how the five UK BioBank diseases are encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PhenotypeModel", "simulate_phenotypes", "liability_to_binary"]
+
+
+@dataclass
+class PhenotypeModel:
+    """Generative model for one phenotype.
+
+    Parameters
+    ----------
+    n_causal:
+        Number of causal SNPs with additive effects.
+    n_epistatic_pairs:
+        Number of interacting SNP pairs contributing product terms.
+    heritability_additive:
+        Fraction of phenotypic variance from additive effects.
+    heritability_epistatic:
+        Fraction of phenotypic variance from epistatic interactions.
+    confounder_variance:
+        Fraction of variance explained by confounders (when provided).
+    seed:
+        RNG seed.
+    """
+
+    n_causal: int = 50
+    n_epistatic_pairs: int = 25
+    heritability_additive: float = 0.25
+    heritability_epistatic: float = 0.45
+    confounder_variance: float = 0.05
+    seed: int | None = None
+    causal_snps_: np.ndarray | None = field(default=None, repr=False)
+    epistatic_pairs_: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        total = (self.heritability_additive + self.heritability_epistatic
+                 + self.confounder_variance)
+        if total > 1.0 + 1e-9:
+            raise ValueError("variance components must sum to at most 1")
+        for name in ("heritability_additive", "heritability_epistatic",
+                     "confounder_variance"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.n_causal < 0 or self.n_epistatic_pairs < 0:
+            raise ValueError("causal counts must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _standardize(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        std = x.std()
+        if std <= 0:
+            return np.zeros_like(x)
+        return (x - x.mean()) / std
+
+    def simulate(self, genotypes: np.ndarray,
+                 confounders: np.ndarray | None = None) -> np.ndarray:
+        """Simulate one standardized quantitative phenotype.
+
+        Parameters
+        ----------
+        genotypes:
+            ``n × ns`` 0/1/2 matrix.
+        confounders:
+            Optional ``n × c`` covariate matrix contributing
+            ``confounder_variance`` of the variance.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``n`` phenotype with zero mean and unit variance.
+        """
+        g = np.asarray(genotypes, dtype=np.float64)
+        n, ns = g.shape
+        rng = self._rng
+
+        n_causal = min(self.n_causal, ns)
+        causal = rng.choice(ns, size=n_causal, replace=False) if n_causal else np.array([], dtype=int)
+        self.causal_snps_ = causal
+
+        additive = np.zeros(n)
+        if n_causal:
+            betas = rng.standard_normal(n_causal)
+            g_std = g[:, causal] - g[:, causal].mean(axis=0, keepdims=True)
+            additive = g_std @ betas
+
+        epistatic = np.zeros(n)
+        n_pairs = self.n_epistatic_pairs if ns >= 2 else 0
+        pairs = np.empty((0, 2), dtype=int)
+        if n_pairs:
+            pairs = rng.choice(ns, size=(n_pairs, 2))
+            # avoid self-interaction pairs
+            same = pairs[:, 0] == pairs[:, 1]
+            pairs[same, 1] = (pairs[same, 1] + 1) % ns
+            gammas = rng.standard_normal(n_pairs)
+            g_centered = g - g.mean(axis=0, keepdims=True)
+            inter = g_centered[:, pairs[:, 0]] * g_centered[:, pairs[:, 1]]
+            epistatic = inter @ gammas
+        self.epistatic_pairs_ = pairs
+
+        conf = np.zeros(n)
+        conf_var = self.confounder_variance
+        if confounders is not None and confounders.size and conf_var > 0:
+            c = np.asarray(confounders, dtype=np.float64)
+            weights = rng.standard_normal(c.shape[1])
+            conf = (c - c.mean(axis=0, keepdims=True)) @ weights
+        else:
+            conf_var = 0.0
+
+        noise_var = max(1.0 - self.heritability_additive
+                        - self.heritability_epistatic - conf_var, 0.0)
+        noise = rng.standard_normal(n)
+
+        y = (
+            np.sqrt(self.heritability_additive) * self._standardize(additive)
+            + np.sqrt(self.heritability_epistatic) * self._standardize(epistatic)
+            + np.sqrt(conf_var) * self._standardize(conf)
+            + np.sqrt(noise_var) * noise
+        )
+        return self._standardize(y)
+
+
+def liability_to_binary(liability: np.ndarray, prevalence: float = 0.2) -> np.ndarray:
+    """Convert a continuous liability into a 0/1 disease status.
+
+    Individuals above the ``1 - prevalence`` quantile of the liability
+    are cases — the standard liability-threshold model for complex
+    diseases (asthma, hypertension, ... in the paper's cohort).
+    """
+    if not 0.0 < prevalence < 1.0:
+        raise ValueError("prevalence must be in (0, 1)")
+    liability = np.asarray(liability, dtype=np.float64)
+    threshold = np.quantile(liability, 1.0 - prevalence)
+    return (liability > threshold).astype(np.float64)
+
+
+def simulate_phenotypes(genotypes: np.ndarray, n_phenotypes: int = 1,
+                        confounders: np.ndarray | None = None,
+                        n_causal: int = 50, n_epistatic_pairs: int = 25,
+                        heritability_additive: float = 0.25,
+                        heritability_epistatic: float = 0.45,
+                        seed: int | None = None) -> np.ndarray:
+    """Simulate an ``n × n_phenotypes`` matrix of standardized phenotypes.
+
+    Each phenotype gets its own causal architecture (fresh causal SNPs
+    and interaction pairs) but shares the variance-component settings —
+    the multivariate (multi-phenotype) setting of Algorithm 1.
+    """
+    rng_seed = np.random.default_rng(seed)
+    out = np.zeros((np.asarray(genotypes).shape[0], n_phenotypes))
+    for k in range(n_phenotypes):
+        model = PhenotypeModel(
+            n_causal=n_causal,
+            n_epistatic_pairs=n_epistatic_pairs,
+            heritability_additive=heritability_additive,
+            heritability_epistatic=heritability_epistatic,
+            seed=int(rng_seed.integers(0, 2 ** 31 - 1)),
+        )
+        out[:, k] = model.simulate(genotypes, confounders)
+    return out

@@ -1,0 +1,48 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+==========================  ====================================================
+Driver                      Paper artefact
+==========================  ====================================================
+``heatmap``                 Fig. 4 — precision heatmaps of the kernel matrix
+``mspe_sweep``              Fig. 5 — MSPE: band RR configs vs adaptive RR vs KRR
+``mspe_fp8``                Fig. 6 — MSPE with the FP8 floor on coalescent data
+``pearson_table``           Table I — Pearson correlations RR vs KRR (FP16/FP8)
+``perf_figures``            Figs. 7–14 — Build/Associate/KRR performance model
+==========================  ====================================================
+
+Every driver accepts a :class:`~repro.experiments.scale.ScalePreset`
+(``small`` for CI, ``medium`` for more faithful accuracy numbers) and
+returns plain dictionaries / dataclasses that the benchmark harness
+prints as the same rows/series the paper reports.
+"""
+
+from repro.experiments.scale import SCALE_PRESETS, ScalePreset, get_scale
+from repro.experiments.heatmap import run_precision_heatmaps
+from repro.experiments.mspe_sweep import run_mspe_sweep, run_mspe_fp8
+from repro.experiments.pearson import run_pearson_table
+from repro.experiments.perf_figures import (
+    run_fig07_build_scaling,
+    run_fig08_to_10_associate,
+    run_fig11_12_efficiency,
+    run_fig13_krr_weak_scaling,
+    run_fig14_breakdown,
+    run_fig14e_systems,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ScalePreset",
+    "SCALE_PRESETS",
+    "get_scale",
+    "run_precision_heatmaps",
+    "run_mspe_sweep",
+    "run_mspe_fp8",
+    "run_pearson_table",
+    "run_fig07_build_scaling",
+    "run_fig08_to_10_associate",
+    "run_fig11_12_efficiency",
+    "run_fig13_krr_weak_scaling",
+    "run_fig14_breakdown",
+    "run_fig14e_systems",
+    "format_table",
+]

@@ -1,0 +1,131 @@
+"""Fig. 4 — precision heatmaps of the kernel matrix tiles.
+
+The experiment builds the training kernel matrix for a UK-BioBank-like
+cohort, applies the tile-centric adaptive precision rule twice — once
+with the FP16 floor of an A100 (Fig. 4a) and once with the FP8 floor of
+a GH200 (Fig. 4b) — and reports the resulting per-tile precision grids.
+
+Expected outcome (matching the paper): diagonal tiles stay at the
+working precision (FP32), essentially all off-diagonal tiles drop to
+the hardware floor (FP16 or FP8), and the matrix storage footprint
+shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.ukb import make_ukb_like_cohort
+from repro.distance.build import KernelBuilder
+from repro.experiments.scale import ScalePreset, get_scale
+from repro.gwas.config import KRRConfig
+from repro.precision.formats import Precision
+from repro.tiles.adaptive import (
+    AdaptivePrecisionRule,
+    PrecisionHeatmap,
+    candidates_for_gpu,
+    precision_heatmap,
+)
+
+__all__ = ["HeatmapExperiment", "run_precision_heatmaps"]
+
+
+@dataclass
+class HeatmapExperiment:
+    """Result of the Fig. 4 experiment for one GPU floor."""
+
+    gpu: str
+    heatmap: PrecisionHeatmap
+    footprint_bytes: int
+    fp32_footprint_bytes: int
+
+    @property
+    def low_precision(self) -> Precision:
+        return candidates_for_gpu(self.gpu)[0]
+
+    @property
+    def offdiagonal_low_fraction(self) -> float:
+        """Fraction of off-diagonal tiles stored at the hardware floor."""
+        grid = self.heatmap.grid
+        nt = grid.shape[0]
+        low = self.low_precision
+        total = off = 0
+        for i in range(nt):
+            for j in range(nt):
+                if i == j:
+                    continue
+                total += 1
+                if grid[i, j] == low:
+                    off += 1
+        return off / total if total else 0.0
+
+    @property
+    def diagonal_working_fraction(self) -> float:
+        """Fraction of diagonal tiles kept at the working precision."""
+        grid = self.heatmap.grid
+        nt = grid.shape[0]
+        kept = sum(1 for i in range(nt) if grid[i, i] == Precision.FP32)
+        return kept / nt if nt else 0.0
+
+    @property
+    def footprint_reduction(self) -> float:
+        """Storage reduction factor vs an all-FP32 kernel matrix."""
+        if self.footprint_bytes == 0:
+            return 1.0
+        return self.fp32_footprint_bytes / self.footprint_bytes
+
+
+def run_precision_heatmaps(scale: str | ScalePreset = "small",
+                           gpus: tuple[str, ...] = ("A100", "GH200"),
+                           accuracy: float = 1e-3,
+                           gamma: float = 0.08,
+                           seed: int = 42) -> dict[str, HeatmapExperiment]:
+    """Run the Fig. 4 experiment: one heatmap per GPU hardware floor.
+
+    ``gamma`` defaults to a sharper bandwidth than the prediction
+    experiments use: the paper's full-scale kernel matrices (γ = 0.01
+    over 43K SNPs) are strongly diagonally dominant — off-diagonal
+    entries are exponentially small because unrelated patients are far
+    apart in genotype space — and that is precisely why the adaptive
+    rule can drop every off-diagonal tile to FP16/FP8.  The sharper γ
+    reproduces that structure at the scaled-down cohort size.
+    """
+    preset = get_scale(scale)
+    cohort = make_ukb_like_cohort(
+        n_individuals=preset.n_individuals, n_snps=preset.n_snps, seed=seed,
+    )
+    cfg = KRRConfig(tile_size=preset.tile_size, gamma=gamma)
+    builder = KernelBuilder(
+        gamma=cfg.effective_gamma(cohort.n_snps),
+        tile_size=preset.tile_size,
+        storage_precision=Precision.FP32,
+    )
+    build = builder.build_training(cohort.genotypes, cohort.confounders)
+    kernel = build.kernel
+
+    results: dict[str, HeatmapExperiment] = {}
+    for gpu in gpus:
+        rule = AdaptivePrecisionRule(
+            accuracy=accuracy,
+            candidates=candidates_for_gpu(gpu),
+            working_precision=Precision.FP32,
+        )
+        heatmap = precision_heatmap(kernel, rule)
+        adaptive = kernel.copy()
+        adaptive.apply_precision_map({
+            (i, j): heatmap.grid[i, j]
+            for i in range(heatmap.grid.shape[0])
+            for j in range(heatmap.grid.shape[1])
+            if (i, j) in dict.fromkeys(
+                adaptive.layout.iter_lower_tiles() if adaptive.symmetric
+                else adaptive.layout.iter_tiles())
+        })
+        fp32_copy = kernel.copy()
+        fp32_copy.apply_precision_map(Precision.FP32)
+        results[gpu] = HeatmapExperiment(
+            gpu=gpu,
+            heatmap=heatmap,
+            footprint_bytes=adaptive.nbytes(),
+            fp32_footprint_bytes=fp32_copy.nbytes(),
+        )
+    return results

@@ -1,0 +1,61 @@
+"""Plain-text table formatting shared by the experiment drivers.
+
+The benchmark harness prints the same rows/series the paper reports;
+``format_table`` renders a list of dictionaries as an aligned text
+table so the output is readable in the pytest/benchmark logs and in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render one cell: floats get a fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(rows: Iterable[Mapping[str, object]],
+                 columns: list[str] | None = None,
+                 precision: int = 4) -> str:
+    """Format a sequence of dict rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Row dictionaries; all values are rendered with
+        :func:`format_value`.
+    columns:
+        Column order; defaults to the keys of the first row.
+    precision:
+        Significant digits for floats.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered = [[format_value(row.get(col, ""), precision) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+
+    def fmt_line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt_line(list(columns)), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)

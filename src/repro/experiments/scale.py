@@ -1,0 +1,94 @@
+"""Scale presets mapping the paper's dimensions onto CI-sized runs.
+
+The paper's accuracy experiments use 305,880 patients × 43,333 SNPs;
+the performance experiments go up to 13M × 20M.  A pure-Python
+emulation cannot run those sizes, so every experiment accepts a scale
+preset:
+
+* ``small``  — seconds on a laptop; used by the test suite.
+* ``medium`` — a couple of minutes; the default for the benchmark
+  harness, with more individuals so the accuracy gaps are better
+  resolved.
+* ``large``  — several minutes; closest to the paper's qualitative
+  regime that is still practical in pure Python.
+
+The performance-model experiments (Figs. 7–14) always use the paper's
+*actual* dimensions: they evaluate an analytic model, not the emulated
+numerics, so there is nothing to scale down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScalePreset", "SCALE_PRESETS", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """Cohort dimensions used by the accuracy experiments.
+
+    Attributes
+    ----------
+    name:
+        Preset name.
+    n_individuals, n_snps:
+        UK-BioBank-like cohort dimensions.
+    coalescent_individuals, coalescent_snps:
+        msprime-like (coalescent) cohort dimensions for Fig. 6 /
+        Table I's synthetic row.
+    tile_size:
+        Tile edge of the kernel matrices (kept small enough that the
+        tile grid has several tiles per dimension, so band/adaptive
+        precision maps are non-trivial).
+    n_diseases:
+        Number of disease phenotypes simulated (the paper studies 5).
+    """
+
+    name: str
+    n_individuals: int
+    n_snps: int
+    coalescent_individuals: int
+    coalescent_snps: int
+    tile_size: int
+    n_diseases: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_individuals <= 0 or self.n_snps <= 0:
+            raise ValueError("cohort dimensions must be positive")
+        if self.tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+
+
+SCALE_PRESETS: dict[str, ScalePreset] = {
+    "tiny": ScalePreset(
+        name="tiny", n_individuals=220, n_snps=48,
+        coalescent_individuals=200, coalescent_snps=60,
+        tile_size=44, n_diseases=2,
+    ),
+    "small": ScalePreset(
+        name="small", n_individuals=500, n_snps=64,
+        coalescent_individuals=400, coalescent_snps=80,
+        tile_size=64, n_diseases=3,
+    ),
+    "medium": ScalePreset(
+        name="medium", n_individuals=800, n_snps=64,
+        coalescent_individuals=700, coalescent_snps=96,
+        tile_size=80, n_diseases=5,
+    ),
+    "large": ScalePreset(
+        name="large", n_individuals=1400, n_snps=96,
+        coalescent_individuals=1200, coalescent_snps=128,
+        tile_size=128, n_diseases=5,
+    ),
+}
+
+
+def get_scale(scale: str | ScalePreset) -> ScalePreset:
+    """Resolve a preset by name (or pass a preset through)."""
+    if isinstance(scale, ScalePreset):
+        return scale
+    key = scale.lower()
+    if key not in SCALE_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}; available: {sorted(SCALE_PRESETS)}")
+    return SCALE_PRESETS[key]

@@ -1,0 +1,45 @@
+"""The paper's contribution: mixed-precision RR and KRR multivariate GWAS.
+
+* :class:`~repro.gwas.ridge.RidgeRegressionGWAS` — linear ridge
+  regression on the genotype+confounder design matrix (Eq. 1–2 of the
+  paper), solved with the mixed-precision SYRK + tiled Cholesky path.
+* :class:`~repro.gwas.krr.KernelRidgeRegressionGWAS` — the three-phase
+  Kernel Ridge Regression workflow (Build / Associate / Predict,
+  Algorithms 1–5), with tile-centric adaptive precision or band
+  precision plans.
+* :mod:`repro.gwas.metrics` — MSPE and Pearson correlation, the two
+  accuracy metrics of Sec. VII.
+* :mod:`repro.gwas.cv` — cross-validation for the α / γ hyperparameters.
+* :mod:`repro.gwas.workflow` — end-to-end driver over a
+  :class:`~repro.data.dataset.GWASDataset`.
+"""
+
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.gwas.krr import KernelRidgeRegressionGWAS, KRRModel
+from repro.gwas.metrics import (
+    accuracy_report,
+    mean_squared_prediction_error,
+    mspe,
+    pearson_correlation,
+)
+from repro.gwas.ridge import RidgeRegressionGWAS, RRModel
+from repro.gwas.cv import CrossValidationResult, grid_search_cv
+from repro.gwas.workflow import GWASWorkflow, WorkflowResult
+
+__all__ = [
+    "PrecisionPlan",
+    "RRConfig",
+    "KRRConfig",
+    "RidgeRegressionGWAS",
+    "RRModel",
+    "KernelRidgeRegressionGWAS",
+    "KRRModel",
+    "mspe",
+    "mean_squared_prediction_error",
+    "pearson_correlation",
+    "accuracy_report",
+    "grid_search_cv",
+    "CrossValidationResult",
+    "GWASWorkflow",
+    "WorkflowResult",
+]

@@ -1,0 +1,39 @@
+"""Tiled mixed-precision dense linear algebra.
+
+Implements the Level-3 BLAS / LAPACK operations the paper's Associate
+phase is built from, operating on :class:`~repro.tiles.matrix.TileMatrix`
+objects with a per-tile precision mosaic:
+
+* :func:`tile_potrf`, :func:`tile_trsm`, :func:`tile_syrk`,
+  :func:`tile_gemm` — single-tile kernels at a chosen precision.
+* :func:`cholesky` — the tiled (right-looking) mixed-precision Cholesky
+  factorization, optionally driven through the task runtime.
+* :func:`solve_triangular`, :func:`solve_cholesky` — forward/backward
+  substitution and the full POTRS-style solve.
+* :func:`syrk`, :func:`gemm` — tiled drivers for the rank-k update and
+  matrix multiply used by the RR and Build phases.
+* :func:`iterative_refinement_solve` — the classic mixed-precision
+  iterative-refinement solver used as a reference comparison.
+"""
+
+from repro.linalg.kernels import tile_gemm, tile_potrf, tile_syrk, tile_trsm
+from repro.linalg.cholesky import CholeskyResult, cholesky, cholesky_flops
+from repro.linalg.solve import solve_cholesky, solve_triangular
+from repro.linalg.blas3 import gemm, syrk
+from repro.linalg.refinement import RefinementResult, iterative_refinement_solve
+
+__all__ = [
+    "tile_potrf",
+    "tile_trsm",
+    "tile_syrk",
+    "tile_gemm",
+    "cholesky",
+    "CholeskyResult",
+    "cholesky_flops",
+    "solve_triangular",
+    "solve_cholesky",
+    "syrk",
+    "gemm",
+    "iterative_refinement_solve",
+    "RefinementResult",
+]

@@ -1,0 +1,147 @@
+"""Tiled Level-3 BLAS drivers (SYRK and GEMM).
+
+The ridge-regression path of the paper (Sec. V-A) computes
+``X^T X`` with a mixed-precision SYRK whose tiles dispatch to the
+INT8 integer GEMM when they contain only SNP data and to FP32 when
+they contain confounders (Fig. 2), and ``X^T Y`` with a plain FP32
+GEMM.  These drivers reproduce that fine-grained dispatch on tiled
+operands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.precision.gemm import gemm_mixed, variant_for_input
+from repro.precision.quantize import quantize
+from repro.tiles.layout import TileLayout
+
+
+def _tile_precision_for_columns(col_types: np.ndarray, cols: slice) -> Precision:
+    """INT8 when every column in the slice is integer-coded, else FP32.
+
+    ``col_types`` is a boolean array marking integer (SNP) columns; a
+    tile is eligible for the integer tensor-core path only when *all*
+    of its columns are integer, exactly the per-tile dispatch of Fig. 2
+    ("without fine-grained computations, the few FP32 tiles would
+    contaminate the MxP SYRK").
+    """
+    if np.all(col_types[cols]):
+        return Precision.INT8
+    return Precision.FP32
+
+
+def syrk(
+    x: np.ndarray,
+    tile_size: int,
+    integer_columns: np.ndarray | None = None,
+    output_precision: Precision | str = Precision.FP32,
+    accumulate_callback: Callable[[int, Precision], None] | None = None,
+) -> np.ndarray:
+    """Mixed-precision ``X^T X`` via column-tile rank-k accumulation.
+
+    Parameters
+    ----------
+    x:
+        ``n × p`` design matrix (patients × [SNPs + confounders]).
+    tile_size:
+        Width of the column panels accumulated per step (the ``k``
+        blocking of the SYRK).
+    integer_columns:
+        Boolean array of length ``p`` marking columns encoded as small
+        integers (SNPs).  Panels made solely of integer columns go
+        through the emulated INT8 tensor-core GEMM; panels containing
+        any real-valued confounder go through FP32.  When omitted, a
+        column is considered integer if all its values are integral and
+        within [-128, 127].
+    output_precision:
+        Precision of the accumulated result.
+    accumulate_callback:
+        Optional hook ``(flops, precision)`` called per panel, used by
+        the performance accounting.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``p × p`` symmetric matrix ``X^T X`` in float64 container
+        (values on the output precision's grid).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n, p = x.shape
+    output_precision = Precision.from_string(output_precision)
+    if integer_columns is None:
+        integer_columns = np.array([
+            bool(np.all(np.mod(x[:, j], 1) == 0) and np.all(np.abs(x[:, j]) <= 127))
+            for j in range(p)
+        ])
+    integer_columns = np.asarray(integer_columns, dtype=bool)
+    if integer_columns.shape != (p,):
+        raise ValueError("integer_columns must have one entry per column of X")
+
+    layout = TileLayout(rows=n, cols=p, tile_size=tile_size)
+    acc = np.zeros((p, p), dtype=np.float64)
+
+    # accumulate over row panels of X^T X = sum_k X[k,:]^T X[k,:]
+    for bi in range(layout.tile_rows):
+        rs = layout.tile_slice(bi, 0)[0]
+        panel = x[rs, :]
+        # split this row panel by column tiles so integer and float
+        # columns use different GEMM variants
+        for bj in range(layout.tile_cols):
+            cs_j = layout.tile_slice(0, bj)[1]
+            pj = _tile_precision_for_columns(integer_columns, cs_j)
+            for bk in range(bj, layout.tile_cols):
+                cs_k = layout.tile_slice(0, bk)[1]
+                pk = _tile_precision_for_columns(integer_columns, cs_k)
+                prec = Precision.INT8 if (pj is Precision.INT8 and pk is Precision.INT8) \
+                    else Precision.FP32
+                variant = variant_for_input(prec)
+                block = np.asarray(
+                    gemm_mixed(panel[:, cs_j], panel[:, cs_k], variant=variant,
+                               transa=True),
+                    dtype=np.float64,
+                )
+                acc[cs_j, cs_k] += block
+                if bj != bk:
+                    acc[cs_k, cs_j] += block.T
+                if accumulate_callback is not None:
+                    flops = 2.0 * panel.shape[0] * block.shape[0] * block.shape[1]
+                    accumulate_callback(int(flops), prec)
+
+    acc = (acc + acc.T) / 2.0  # exact symmetrization
+    return np.asarray(quantize(acc, output_precision), dtype=np.float64)
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    tile_size: int,
+    precision: Precision | str = Precision.FP32,
+    transa: bool = False,
+    transb: bool = False,
+) -> np.ndarray:
+    """Tiled mixed-precision GEMM ``op(A) @ op(B)``.
+
+    Used for ``X^T Y`` in the RR path and ``K_test @ W`` in the Predict
+    phase, both of which the paper keeps in FP32.
+    """
+    precision = Precision.from_string(precision)
+    a = np.asarray(a, dtype=np.float64).T if transa else np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64).T if transb else np.asarray(b, dtype=np.float64)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+
+    variant = variant_for_input(precision)
+    out = np.zeros((m, n), dtype=np.float64)
+    layout_k = TileLayout(rows=k, cols=1, tile_size=tile_size)
+    for bk in range(layout_k.tile_rows):
+        ks = layout_k.tile_slice(bk, 0)[0]
+        out += np.asarray(
+            gemm_mixed(a[:, ks], b[ks, :], variant=variant), dtype=np.float64
+        )
+    return np.asarray(quantize(out, precision), dtype=np.float64)

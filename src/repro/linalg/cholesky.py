@@ -1,0 +1,301 @@
+"""Tiled mixed-precision Cholesky factorization.
+
+The Associate phase of the paper factorizes the regularized kernel
+matrix ``K + alpha*I`` with a right-looking tiled Cholesky whose update
+(GEMM/SYRK) tasks run in the precision assigned to the destination tile
+by the adaptive rule — the "four-precision Cholesky-based solver"
+(FP64/FP32/FP16/FP8) of Sec. V-B2.
+
+Structure of the algorithm per panel ``k`` (lower-triangular variant):
+
+1. ``POTRF``  — factorize the diagonal tile ``A[k,k]`` (working precision).
+2. ``TRSM``   — update panel tiles ``A[i,k] <- A[i,k] @ L[k,k]^{-T}``.
+3. ``SYRK``   — update diagonal trailing tiles
+   ``A[i,i] <- A[i,i] - A[i,k] @ A[i,k]^T``.
+4. ``GEMM``   — update off-diagonal trailing tiles
+   ``A[i,j] <- A[i,j] - A[i,k] @ A[j,k]^T``; runs in the *destination
+   tile's* precision, which is where FP16/FP8 enters.
+
+The factorization can run directly (fast) or through the task runtime
+(``runtime=``) to obtain DAG statistics, a simulated schedule and the
+data-movement ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.linalg.kernels import (
+    gemm_flops,
+    potrf_flops,
+    syrk_flops,
+    tile_gemm,
+    tile_potrf,
+    tile_syrk,
+    tile_trsm,
+    trsm_flops,
+)
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import AccessMode
+from repro.tiles.matrix import TileMatrix
+
+
+@dataclass
+class CholeskyResult:
+    """Outcome of the tiled mixed-precision Cholesky factorization.
+
+    Attributes
+    ----------
+    factor:
+        Lower-triangular factor as a :class:`TileMatrix` (tiles keep the
+        precision they were computed/stored in).
+    flops:
+        Total operation count of the factorization.
+    flops_by_precision:
+        Operation count split by compute precision (the paper's
+        "mixed-precision flops" accounting).
+    task_counts:
+        Number of POTRF/TRSM/SYRK/GEMM tasks executed.
+    schedule:
+        Optional :class:`~repro.runtime.scheduler.ScheduleResult` when a
+        runtime was used.
+    """
+
+    factor: TileMatrix
+    flops: float
+    flops_by_precision: dict[Precision, float] = field(default_factory=dict)
+    task_counts: dict[str, int] = field(default_factory=dict)
+    schedule: object | None = None
+
+    def to_dense(self) -> np.ndarray:
+        """Dense lower-triangular factor (upper part zeroed)."""
+        return np.tril(self.factor.to_dense())
+
+
+def cholesky_flops(n: int) -> float:
+    """Total operation count of a Cholesky factorization of order ``n``."""
+    return n ** 3 / 3.0 + n ** 2 / 2.0 + n / 6.0
+
+
+def _accumulate(result: CholeskyResult, name: str, precision: Precision,
+                flops: float) -> None:
+    result.flops += flops
+    result.flops_by_precision[precision] = (
+        result.flops_by_precision.get(precision, 0.0) + flops
+    )
+    result.task_counts[name] = result.task_counts.get(name, 0) + 1
+
+
+def cholesky(
+    matrix: TileMatrix | np.ndarray,
+    tile_size: int | None = None,
+    working_precision: Precision | str = Precision.FP32,
+    precision_map: dict[tuple[int, int], Precision] | None = None,
+    runtime: Runtime | None = None,
+) -> CholeskyResult:
+    """Tiled mixed-precision Cholesky factorization (lower triangular).
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive-definite matrix, dense or tiled.  When a
+        ``TileMatrix`` is given its per-tile precisions (set e.g. by
+        :func:`repro.tiles.adaptive.decide_tile_precisions`) control the
+        precision of each trailing update; when a dense array is given,
+        ``precision_map`` can supply the mosaic.
+    tile_size:
+        Required when a dense array is passed.
+    working_precision:
+        Precision of the panel operations (POTRF/TRSM) and of diagonal
+        tiles; FP32 reproduces the paper's configuration, FP64 gives the
+        reference factorization.
+    precision_map:
+        Optional per-tile compute precision overriding the tiles' stored
+        precisions.
+    runtime:
+        Optional task runtime; when given, the factorization is expressed
+        as a task graph, executed through the scheduler, and the schedule
+        is attached to the result.
+
+    Returns
+    -------
+    CholeskyResult
+    """
+    working_precision = Precision.from_string(working_precision)
+
+    if isinstance(matrix, np.ndarray):
+        if tile_size is None:
+            raise ValueError("tile_size is required for dense input")
+        tiled = TileMatrix.from_dense(matrix, tile_size, working_precision,
+                                      symmetric=False)
+    else:
+        tiled = matrix.copy()
+        if tiled.symmetric:
+            # materialize to a full (non-symmetric storage) tiled matrix so
+            # the factor can be stored without mirroring surprises
+            tiled = TileMatrix.from_dense(
+                matrix.to_dense(), matrix.tile_size,
+                lambda i, j: matrix.tile_precision(i, j), symmetric=False,
+            )
+
+    layout = tiled.layout
+    if layout.rows != layout.cols:
+        raise ValueError("Cholesky requires a square matrix")
+    nt = layout.tile_rows
+
+    def tile_precision(i: int, j: int) -> Precision:
+        if i == j:
+            return working_precision
+        if precision_map is not None and (i, j) in precision_map:
+            return precision_map[(i, j)]
+        p = tiled.tile_precision(i, j)
+        # integer storage never participates in the factorization
+        if p.is_integer:
+            return working_precision
+        return p
+
+    result = CholeskyResult(factor=tiled, flops=0.0)
+
+    if runtime is None:
+        _cholesky_direct(tiled, nt, working_precision, tile_precision, result)
+    else:
+        _cholesky_runtime(tiled, nt, working_precision, tile_precision, result,
+                          runtime)
+
+    # zero out the (now meaningless) upper-triangle tiles of the factor
+    for i in range(nt):
+        for j in range(i + 1, nt):
+            shape = layout.tile_shape(i, j)
+            tiled.set_tile(i, j, np.zeros(shape), precision=tile_precision(i, j))
+    return result
+
+
+# ----------------------------------------------------------------------
+# direct (host-ordered) execution
+# ----------------------------------------------------------------------
+def _cholesky_direct(tiled: TileMatrix, nt: int, wp: Precision,
+                     tile_precision, result: CholeskyResult) -> None:
+    nb = tiled.tile_size
+    for k in range(nt):
+        akk = tiled.get_tile(k, k).to_float64()
+        lkk = tile_potrf(akk, precision=wp)
+        tiled.set_tile(k, k, lkk, precision=wp)
+        _accumulate(result, "potrf", wp, potrf_flops(akk.shape[0]))
+
+        for i in range(k + 1, nt):
+            aik = tiled.get_tile(i, k).to_float64()
+            lik = tile_trsm(lkk, aik, precision=wp, side="right", trans=True)
+            tiled.set_tile(i, k, lik, precision=tile_precision(i, k))
+            _accumulate(result, "trsm", wp, trsm_flops(aik.shape[1], aik.shape[0]))
+
+        for i in range(k + 1, nt):
+            lik = tiled.get_tile(i, k).to_float64()
+            # SYRK on the diagonal of the trailing matrix
+            aii = tiled.get_tile(i, i).to_float64()
+            p_ii = wp
+            new_aii = tile_syrk(lik, aii, precision=p_ii, alpha=-1.0, beta=1.0)
+            tiled.set_tile(i, i, new_aii, precision=p_ii)
+            _accumulate(result, "syrk", p_ii, syrk_flops(aii.shape[0], lik.shape[1]))
+
+            # GEMM on the off-diagonal trailing tiles of this block column
+            for j in range(k + 1, i):
+                ljk = tiled.get_tile(j, k).to_float64()
+                aij = tiled.get_tile(i, j).to_float64()
+                p_ij = tile_precision(i, j)
+                new_aij = tile_gemm(lik, ljk, aij, precision=p_ij,
+                                    alpha=-1.0, beta=1.0, transb=True)
+                tiled.set_tile(i, j, new_aij, precision=p_ij)
+                _accumulate(result, "gemm", p_ij,
+                            gemm_flops(aij.shape[0], aij.shape[1], lik.shape[1]))
+
+
+# ----------------------------------------------------------------------
+# runtime-driven execution
+# ----------------------------------------------------------------------
+def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
+                      tile_precision, result: CholeskyResult,
+                      runtime: Runtime) -> None:
+    layout = tiled.layout
+
+    handles: dict[tuple[int, int], object] = {}
+    for i in range(nt):
+        for j in range(i + 1):
+            tile = tiled.get_tile(i, j)
+            handles[(i, j)] = runtime.register_data(
+                f"A({i},{j})", payload=tile.to_float64(),
+                precision=tile.precision, shape=tile.shape,
+            )
+
+    def potrf_body(a):
+        return tile_potrf(a, precision=wp)
+
+    def make_trsm_body():
+        def body(lkk, aik):
+            return tile_trsm(lkk, aik, precision=wp, side="right", trans=True)
+        return body
+
+    def make_syrk_body(p):
+        def body(lik, aii):
+            return tile_syrk(lik, aii, precision=p, alpha=-1.0, beta=1.0)
+        return body
+
+    def make_gemm_body(p):
+        def body(lik, ljk, aij):
+            return tile_gemm(lik, ljk, aij, precision=p, alpha=-1.0, beta=1.0,
+                             transb=True)
+        return body
+
+    for k in range(nt):
+        hkk = handles[(k, k)]
+        nbk = layout.tile_shape(k, k)[0]
+        runtime.insert_task(
+            "potrf", (hkk, AccessMode.READWRITE), body=potrf_body,
+            flops=potrf_flops(nbk), precision=wp, priority=nt - k + 10,
+            tag=(k, k, k),
+        )
+        _accumulate(result, "potrf", wp, potrf_flops(nbk))
+
+        for i in range(k + 1, nt):
+            hik = handles[(i, k)]
+            mb, nb = layout.tile_shape(i, k)
+            runtime.insert_task(
+                "trsm", (hkk, AccessMode.READ), (hik, AccessMode.READWRITE),
+                body=make_trsm_body(), flops=trsm_flops(nb, mb),
+                precision=wp, priority=nt - k + 5, tag=(i, k, k),
+            )
+            _accumulate(result, "trsm", wp, trsm_flops(nb, mb))
+
+        for i in range(k + 1, nt):
+            hik = handles[(i, k)]
+            hii = handles[(i, i)]
+            nbi = layout.tile_shape(i, i)[0]
+            kbk = layout.tile_shape(i, k)[1]
+            runtime.insert_task(
+                "syrk", (hik, AccessMode.READ), (hii, AccessMode.READWRITE),
+                body=make_syrk_body(wp), flops=syrk_flops(nbi, kbk),
+                precision=wp, tag=(i, i, k),
+            )
+            _accumulate(result, "syrk", wp, syrk_flops(nbi, kbk))
+            for j in range(k + 1, i):
+                hjk = handles[(j, k)]
+                hij = handles[(i, j)]
+                p_ij = tile_precision(i, j)
+                mb, nb = layout.tile_shape(i, j)
+                runtime.insert_task(
+                    "gemm", (hik, AccessMode.READ), (hjk, AccessMode.READ),
+                    (hij, AccessMode.READWRITE),
+                    body=make_gemm_body(p_ij), flops=gemm_flops(mb, nb, kbk),
+                    precision=p_ij, tag=(i, j, k),
+                )
+                _accumulate(result, "gemm", p_ij, gemm_flops(mb, nb, kbk))
+
+    schedule = runtime.run()
+    result.schedule = schedule
+
+    # copy results back into the tile matrix
+    for (i, j), handle in handles.items():
+        tiled.set_tile(i, j, handle.payload, precision=tile_precision(i, j)
+                       if i != j else wp)

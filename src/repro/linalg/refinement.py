@@ -1,0 +1,120 @@
+"""Mixed-precision iterative refinement (reference solver).
+
+Section V-B2 of the paper contrasts the tile-adaptive approach with the
+classical mixed-precision *iterative refinement* strategy: factorize in
+low precision, then refine the solution with residuals computed in high
+precision.  Iterative refinement recovers full accuracy even for
+ill-conditioned systems, at the cost of storing the operator in more
+than one precision.  We implement it both as a correctness reference
+and as an ablation baseline for the memory-footprint comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize
+
+
+@dataclass
+class RefinementResult:
+    """Solution and convergence history of iterative refinement."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def iterative_refinement_solve(
+    a: np.ndarray,
+    b: np.ndarray,
+    factor_precision: Precision | str = Precision.FP16,
+    residual_precision: Precision | str = Precision.FP64,
+    solution_precision: Precision | str = Precision.FP32,
+    tol: float = 1e-6,
+    max_iterations: int = 50,
+) -> RefinementResult:
+    """Solve an SPD system ``A x = b`` by mixed-precision iterative refinement.
+
+    The factorization of ``A`` is performed on the matrix quantized to
+    ``factor_precision``; each refinement step computes the residual in
+    ``residual_precision`` and accumulates the correction in
+    ``solution_precision``.
+
+    Parameters
+    ----------
+    a:
+        Symmetric positive-definite matrix.
+    b:
+        Right-hand side (vector or panel).
+    tol:
+        Convergence threshold on the relative residual
+        ``||b - A x|| / (||A|| ||x|| + ||b||)``.
+    max_iterations:
+        Refinement iteration cap.
+    """
+    factor_precision = Precision.from_string(factor_precision)
+    residual_precision = Precision.from_string(residual_precision)
+    solution_precision = Precision.from_string(solution_precision)
+
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    if b64.ndim == 1:
+        b64 = b64[:, None]
+        squeeze = True
+    else:
+        squeeze = False
+
+    a_low = np.asarray(quantize(a64, factor_precision), dtype=np.float64)
+    # Low-precision quantization can destroy positive definiteness for
+    # ill-conditioned matrices; nudge the diagonal if needed, as
+    # low-precision factorization codes do in practice.
+    jitter = 0.0
+    for _ in range(40):
+        try:
+            chol = scipy.linalg.cho_factor(
+                a_low + jitter * np.eye(a_low.shape[0]), lower=True
+            )
+            break
+        except np.linalg.LinAlgError:
+            jitter = max(jitter * 10.0, 1e-8 * np.trace(a_low) / a_low.shape[0])
+    else:  # pragma: no cover - defensive
+        raise np.linalg.LinAlgError("could not factorize the low-precision matrix")
+
+    norm_a = np.linalg.norm(a64, ord="fro")
+    norm_b = np.linalg.norm(b64)
+
+    x = np.zeros_like(b64)
+    residual_norms: list[float] = []
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        r = np.asarray(
+            quantize(b64 - a64 @ x, residual_precision), dtype=np.float64
+        )
+        res_norm = float(np.linalg.norm(r))
+        residual_norms.append(res_norm)
+        denom = norm_a * np.linalg.norm(x) + norm_b
+        if denom > 0 and res_norm / denom <= tol:
+            converged = True
+            break
+        correction = scipy.linalg.cho_solve(chol, r)
+        x = np.asarray(quantize(x + correction, solution_precision), dtype=np.float64)
+
+    result_x = x[:, 0] if squeeze else x
+    return RefinementResult(
+        x=result_x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residual_norms,
+    )

@@ -1,0 +1,116 @@
+"""Triangular and Cholesky-based solves (POTRS).
+
+The Associate phase ends with ``W = (K + alpha*I)^{-1} Ph`` computed as
+two triangular solves against the Cholesky factor, both performed in
+the full working precision (FP32 in the paper) because the right-hand
+side panel ``Ph`` is small (number of phenotypes) and does not benefit
+from tensor cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize
+from repro.linalg.cholesky import CholeskyResult
+from repro.tiles.matrix import TileMatrix
+
+
+def solve_triangular(factor: TileMatrix | np.ndarray, rhs: np.ndarray,
+                     lower: bool = True, trans: bool = False,
+                     precision: Precision | str = Precision.FP32) -> np.ndarray:
+    """Solve ``op(L) X = B`` with a (tiled or dense) triangular factor.
+
+    The solve is performed blockwise by tile columns (forward) or
+    reversed (backward), quantizing intermediate panels to the working
+    precision after each block update — the same rounding pattern as a
+    tile-by-tile runtime execution.
+    """
+    precision = Precision.from_string(precision)
+    rhs64 = np.asarray(rhs, dtype=np.float64)
+    if rhs64.ndim == 1:
+        rhs64 = rhs64[:, None]
+        squeeze = True
+    else:
+        squeeze = False
+
+    if isinstance(factor, np.ndarray):
+        l64 = np.asarray(factor, dtype=np.float64)
+        op = l64.T if trans else l64
+        x = scipy.linalg.solve_triangular(op, rhs64, lower=(lower != trans))
+        x = np.asarray(quantize(x, precision), dtype=np.float64)
+        return x[:, 0] if squeeze else x
+
+    layout = factor.layout
+    nt = layout.tile_rows
+    nb = layout.tile_size
+    x = np.array(quantize(rhs64, precision), dtype=np.float64)
+
+    def row_slice(i: int) -> slice:
+        return layout.tile_slice(i, 0)[0]
+
+    if (lower and not trans) or (not lower and trans):
+        # forward substitution over tile rows
+        order = range(nt)
+        for i in order:
+            ri = row_slice(i)
+            acc = x[ri].copy()
+            for j in range(i):
+                rj = row_slice(j)
+                lij = factor.get_tile(i, j).to_float64() if lower else \
+                    factor.get_tile(j, i).to_float64().T
+                acc -= lij @ x[rj]
+                acc = np.asarray(quantize(acc, precision), dtype=np.float64)
+            lii = factor.get_tile(i, i).to_float64()
+            diag = lii if lower else lii.T
+            x[ri] = scipy.linalg.solve_triangular(diag, acc, lower=True)
+            x[ri] = np.asarray(quantize(x[ri], precision), dtype=np.float64)
+    else:
+        # backward substitution over tile rows
+        for i in reversed(range(nt)):
+            ri = row_slice(i)
+            acc = x[ri].copy()
+            for j in range(i + 1, nt):
+                rj = row_slice(j)
+                # op(L)[i, j] with op = transpose of a lower factor
+                lji = factor.get_tile(j, i).to_float64() if lower else \
+                    factor.get_tile(i, j).to_float64().T
+                acc -= lji.T @ x[rj]
+                acc = np.asarray(quantize(acc, precision), dtype=np.float64)
+            lii = factor.get_tile(i, i).to_float64()
+            diag = (lii if lower else lii.T).T
+            x[ri] = scipy.linalg.solve_triangular(diag, acc, lower=False)
+            x[ri] = np.asarray(quantize(x[ri], precision), dtype=np.float64)
+
+    return x[:, 0] if squeeze else x
+
+
+def solve_cholesky(factorization: CholeskyResult | TileMatrix | np.ndarray,
+                   rhs: np.ndarray,
+                   precision: Precision | str = Precision.FP32) -> np.ndarray:
+    """POTRS: solve ``A X = B`` given the lower Cholesky factor of ``A``.
+
+    Performs the forward solve ``L Y = B`` followed by the backward
+    solve ``L^T X = Y``, both in the given working precision.
+    """
+    if isinstance(factorization, CholeskyResult):
+        factor: TileMatrix | np.ndarray = factorization.factor
+    else:
+        factor = factorization
+    y = solve_triangular(factor, rhs, lower=True, trans=False, precision=precision)
+    x = solve_triangular(factor, y, lower=True, trans=True, precision=precision)
+    return x
+
+
+def solve_spd(matrix: np.ndarray, rhs: np.ndarray, tile_size: int,
+              working_precision: Precision | str = Precision.FP32,
+              precision_map: dict[tuple[int, int], Precision] | None = None) -> np.ndarray:
+    """Convenience: factorize + solve a dense SPD system with the tiled solver."""
+    from repro.linalg.cholesky import cholesky
+
+    result = cholesky(np.asarray(matrix, dtype=np.float64), tile_size=tile_size,
+                      working_precision=working_precision,
+                      precision_map=precision_map)
+    return solve_cholesky(result, rhs, precision=working_precision)

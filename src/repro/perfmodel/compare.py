@@ -1,0 +1,139 @@
+"""Cross-system comparison and the REGENIE headroom ratio (Sec. VII-F).
+
+Two headline comparisons close the paper's evaluation:
+
+* **Fig. 14e** — the Associate/Build/KRR throughput achieved on the
+  four systems at the paper's scales (Leonardo 4,096 GPUs, Summit
+  18,432, Frontier 36,100, Alps 8,100), topping out at 2.109 ExaOp/s
+  for the Build phase and 1.805 ExaOp/s for the full KRR on Alps.
+* **The REGENIE ratio** — crediting the CPU-only REGENIE with the full
+  theoretical peak of a dual-socket AMD Genoa node (7.372 TFlop/s), the
+  mixed-precision KRR solver's sustained 1.805 ExaOp/s is about five
+  orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.scaling import MachineModel, PhaseEstimate
+from repro.perfmodel.systems import (
+    SHAHEEN3_CPU_NODE_PEAK,
+    SYSTEM_REGISTRY,
+    SystemSpec,
+)
+from repro.precision.formats import Precision
+
+__all__ = ["SystemComparisonRow", "system_comparison", "regenie_comparison"]
+
+
+#: Low precision used by the Associate phase per system in the paper
+#: (FP16 floor before Hopper, FP8 on Alps).
+_SYSTEM_LOW_PRECISION = {
+    "Summit": Precision.FP16,
+    "Leonardo": Precision.FP16,
+    "Frontier": Precision.FP16,
+    "Alps": Precision.FP8_E4M3,
+}
+
+#: GPU counts of the paper's largest runs (Fig. 14e).
+_PAPER_GPU_COUNTS = {
+    "Summit": 18_432,
+    "Leonardo": 4_096,
+    "Frontier": 36_100,
+    "Alps": 8_100,
+}
+
+
+@dataclass(frozen=True)
+class SystemComparisonRow:
+    """One row of the Fig. 14e-style comparison."""
+
+    system: str
+    n_gpus: int
+    matrix_size: int
+    build_pflops: float
+    associate_pflops: float
+    krr_pflops: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "system": self.system,
+            "n_gpus": self.n_gpus,
+            "matrix_size": self.matrix_size,
+            "build_pflops": self.build_pflops,
+            "associate_pflops": self.associate_pflops,
+            "krr_pflops": self.krr_pflops,
+        }
+
+
+def system_comparison(systems: dict[str, SystemSpec] | None = None,
+                      gpu_counts: dict[str, int] | None = None,
+                      snp_ratio: float = 1.5,
+                      bytes_per_element: float = 2.5) -> list[SystemComparisonRow]:
+    """Fig. 14e: Build/Associate/KRR throughput across systems.
+
+    Each system runs the largest problem fitting its aggregate device
+    memory at the paper's GPU count; Alps additionally uses the FP8
+    floor, the other systems FP16.
+    """
+    systems = systems or dict(SYSTEM_REGISTRY)
+    gpu_counts = gpu_counts or dict(_PAPER_GPU_COUNTS)
+    rows: list[SystemComparisonRow] = []
+    for key, spec in systems.items():
+        name = spec.name
+        n_gpus = gpu_counts.get(name, spec.paper_gpus)
+        model = MachineModel(system=spec)
+        n = model.matrix_size_for_memory(n_gpus, bytes_per_element=bytes_per_element)
+        low = _SYSTEM_LOW_PRECISION.get(name, Precision.FP16)
+        estimates = model.krr_estimate(n, int(round(snp_ratio * n)), n_gpus,
+                                       low_precision=low)
+        rows.append(SystemComparisonRow(
+            system=name,
+            n_gpus=n_gpus,
+            matrix_size=n,
+            build_pflops=estimates["build"].throughput / 1e15,
+            associate_pflops=estimates["associate"].throughput / 1e15,
+            krr_pflops=estimates["krr"].throughput / 1e15,
+        ))
+    rows.sort(key=lambda r: r.krr_pflops)
+    return rows
+
+
+@dataclass(frozen=True)
+class RegenieComparison:
+    """The Sec. VII-F headroom comparison against CPU REGENIE."""
+
+    krr_throughput: float
+    regenie_throughput: float
+
+    @property
+    def speedup(self) -> float:
+        return self.krr_throughput / self.regenie_throughput
+
+    @property
+    def orders_of_magnitude(self) -> float:
+        return float(np.log10(self.speedup))
+
+
+def regenie_comparison(krr_throughput: float | None = None,
+                       cpu_peak: float = SHAHEEN3_CPU_NODE_PEAK) -> RegenieComparison:
+    """Compare the KRR solver's sustained throughput against REGENIE's ceiling.
+
+    Parameters
+    ----------
+    krr_throughput:
+        Sustained mixed-precision op/s of the KRR workflow; defaults to
+        the model's Alps estimate at the paper's scale.
+    cpu_peak:
+        Throughput credited to REGENIE (the full theoretical peak of a
+        dual-socket AMD Genoa 9654 node, as the paper generously does).
+    """
+    if krr_throughput is None:
+        rows = system_comparison()
+        alps = next(r for r in rows if r.system == "Alps")
+        krr_throughput = alps.krr_pflops * 1e15
+    return RegenieComparison(krr_throughput=float(krr_throughput),
+                             regenie_throughput=float(cpu_peak))

@@ -1,0 +1,112 @@
+"""Operation counts of the GWAS phases.
+
+Sec. VI-C of the paper: "MxP SYRK and Cholesky matrix computations
+account for most operations with an algorithmic complexity of
+``N_P² × N_S`` and ``1/3 × N_P³`` respectively."  These counts drive
+both the performance model and the "mixed-precision ExaOp/s" numbers
+reported by the paper (operations are counted once regardless of the
+precision they execute in).
+"""
+
+from __future__ import annotations
+
+from repro.precision.formats import Precision
+
+__all__ = [
+    "build_flops",
+    "associate_flops",
+    "solve_flops",
+    "predict_flops",
+    "krr_flops",
+    "rr_flops",
+    "associate_precision_fractions",
+    "memory_bytes_kernel_matrix",
+]
+
+
+def build_flops(n_patients: int, n_snps: int) -> float:
+    """Build phase: the distance SYRK over the SNP dimension (``N_P²·N_S``)."""
+    return float(n_patients) ** 2 * float(n_snps)
+
+
+def associate_flops(n_patients: int) -> float:
+    """Associate phase: the Cholesky factorization (``N_P³/3``)."""
+    return float(n_patients) ** 3 / 3.0
+
+
+def solve_flops(n_patients: int, n_phenotypes: int) -> float:
+    """Triangular solves for the weight panel (``2·N_P²·N_Ph``)."""
+    return 2.0 * float(n_patients) ** 2 * float(n_phenotypes)
+
+
+def predict_flops(n_test: int, n_train: int, n_snps: int, n_phenotypes: int) -> float:
+    """Predict phase: cross kernel build plus ``K_test @ W``."""
+    return (2.0 * float(n_test) * float(n_train) * float(n_snps)
+            + 2.0 * float(n_test) * float(n_train) * float(n_phenotypes))
+
+
+def krr_flops(n_patients: int, n_snps: int, n_phenotypes: int = 1,
+              n_test: int = 0) -> float:
+    """Total KRR workflow operation count (Build + Associate + solves [+ Predict])."""
+    total = (build_flops(n_patients, n_snps)
+             + associate_flops(n_patients)
+             + solve_flops(n_patients, n_phenotypes))
+    if n_test:
+        total += predict_flops(n_test, n_patients, n_snps, n_phenotypes)
+    return total
+
+
+def rr_flops(n_patients: int, n_features: int, n_phenotypes: int = 1) -> float:
+    """Ridge regression: SYRK (``N_P·N_S²``) + Cholesky (``N_S³/3``) + solves."""
+    return (float(n_patients) * float(n_features) ** 2
+            + float(n_features) ** 3 / 3.0
+            + 2.0 * float(n_features) ** 2 * float(n_phenotypes))
+
+
+def associate_precision_fractions(n_tiles: int,
+                                  low_precision: Precision = Precision.FP16,
+                                  working_precision: Precision = Precision.FP32,
+                                  ) -> dict[Precision, float]:
+    """Fraction of Associate-phase operations per precision.
+
+    With the adaptive mosaic all off-diagonal GEMM updates run in the
+    low precision while POTRF/TRSM/SYRK panel work stays in the working
+    precision.  For an ``nt × nt`` tile grid, the GEMM share of the
+    Cholesky operation count is ``(nt-1)(nt-2)/(nt² + ...) → 1`` as
+    ``nt`` grows; the exact tile-level ratio is computed here.
+    """
+    nt = max(int(n_tiles), 1)
+    # per-tile op counts in tile units (nb³): potrf ~ 1/3, trsm ~ 1,
+    # syrk ~ 1, gemm ~ 2 (counted per k-step)
+    potrf = nt * (1.0 / 3.0)
+    trsm = nt * (nt - 1) / 2.0
+    syrk = nt * (nt - 1) / 2.0
+    gemm = nt * (nt - 1) * (nt - 2) / 6.0 * 2.0
+    total = potrf + trsm + syrk + gemm
+    if total <= 0:
+        return {working_precision: 1.0}
+    high = (potrf + trsm + syrk) / total
+    low = gemm / total
+    if low_precision == working_precision:
+        return {working_precision: 1.0}
+    return {working_precision: high, low_precision: low}
+
+
+def memory_bytes_kernel_matrix(n_patients: int, tile_fractions: dict[Precision, float],
+                               symmetric: bool = True) -> float:
+    """Storage footprint of the kernel matrix under a precision mix.
+
+    ``tile_fractions`` maps each storage precision to the fraction of
+    tiles stored in it (e.g. the output of the adaptive rule).  Used for
+    the memory-footprint-reduction accounting the paper highlights.
+    """
+    n = float(n_patients)
+    elements = n * (n + 1) / 2.0 if symmetric else n * n
+    total_fraction = sum(tile_fractions.values())
+    if total_fraction <= 0:
+        raise ValueError("tile_fractions must contain positive fractions")
+    bytes_per_element = sum(
+        (frac / total_fraction) * p.bytes_per_element
+        for p, frac in tile_fractions.items()
+    )
+    return elements * bytes_per_element

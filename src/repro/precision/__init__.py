@@ -1,0 +1,71 @@
+"""Software-emulated low/mixed precision arithmetic.
+
+The paper's performance comes from NVIDIA tensor cores operating in
+INT8, FP8 (E4M3), FP16, FP32 and FP64.  On a CPU-only NumPy stack we
+reproduce the *numerical* behaviour of those units — value grids,
+rounding, saturation, and accumulation precision — so that every
+accuracy result in the paper (precision heatmaps, MSPE comparisons,
+Pearson correlations) can be reproduced bit-faithfully at the level of
+the stored values.
+
+Public surface
+--------------
+``Precision``
+    Enumeration of the supported formats with their numerical metadata
+    (unit roundoff, max finite value, bytes per element).
+``quantize`` / ``dequantize_int8``
+    Round an array to a given format's value grid.
+``gemm_mixed``, ``syrk_mixed``
+    Tensor-core-style matrix products: operands quantized to a low
+    input precision, accumulation in a (usually wider) compute
+    precision, output stored in an output precision.
+``GemmVariant``
+    Named variants matching the cuBLAS calls used in the paper
+    (e.g. ``AB8I_C32I_OP32I``).
+"""
+
+from repro.precision.formats import (
+    FP8_E4M3_MAX,
+    FP8_E5M2_MAX,
+    FormatSpec,
+    Precision,
+    unit_roundoff,
+)
+from repro.precision.fp8 import quantize_fp8
+from repro.precision.quantize import (
+    Int8Quantization,
+    dequantize_int8,
+    quantize,
+    quantize_int8,
+)
+from repro.precision.gemm import (
+    GemmVariant,
+    gemm_mixed,
+    gemm_variant,
+    syrk_mixed,
+)
+from repro.precision.error_model import (
+    cholesky_error_bound,
+    dot_product_error_bound,
+    representable_relative_error,
+)
+
+__all__ = [
+    "Precision",
+    "FormatSpec",
+    "unit_roundoff",
+    "FP8_E4M3_MAX",
+    "FP8_E5M2_MAX",
+    "quantize",
+    "quantize_fp8",
+    "quantize_int8",
+    "dequantize_int8",
+    "Int8Quantization",
+    "GemmVariant",
+    "gemm_variant",
+    "gemm_mixed",
+    "syrk_mixed",
+    "dot_product_error_bound",
+    "cholesky_error_bound",
+    "representable_relative_error",
+]

@@ -1,0 +1,221 @@
+"""Emulated tensor-core GEMM / SYRK variants.
+
+The paper's Build and Associate phases call cuBLAS with precision
+combinations chosen per tile:
+
+* ``AB8I_C32I_OP32I`` — operands A/B in INT8, C and the accumulator in
+  INT32 (used for the SNP part of the distance SYRK, Sec. V-A/V-B1).
+* ``cublasSgemm`` — plain FP32 GEMM (confounder tiles).
+* FP16 and FP8 (``CUDA_R_8F_E4M3``) tensor-core GEMMs with FP32
+  accumulation (off-diagonal Cholesky update tiles).
+
+Each variant is emulated by (1) quantizing the operands onto the input
+format's value grid, (2) performing the product in the accumulation
+format, (3) rounding the result to the output format.  Integer variants
+are exact as long as the INT32 accumulator does not overflow, exactly
+like the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize
+
+
+@dataclass(frozen=True)
+class GemmVariant:
+    """A named (input, accumulate, output) precision combination.
+
+    Attributes
+    ----------
+    name:
+        cuBLAS-style identifier, e.g. ``"AB8I_C32I_OP32I"``.
+    input_precision:
+        Format the A/B operands are quantized to before multiplying.
+    accumulate_precision:
+        Format of the accumulator (INT32 for integer variants, FP32
+        for tensor-core float variants, FP64 for the reference path).
+    output_precision:
+        Format the result is rounded to on store.
+    """
+
+    name: str
+    input_precision: Precision
+    accumulate_precision: Precision
+    output_precision: Precision
+
+    @property
+    def flops_precision(self) -> Precision:
+        """Precision class used by the performance model for this variant."""
+        return self.input_precision
+
+
+#: Registry of the GEMM variants referenced in the paper.
+_VARIANTS: dict[str, GemmVariant] = {
+    "AB8I_C32I_OP32I": GemmVariant(
+        "AB8I_C32I_OP32I", Precision.INT8, Precision.INT32, Precision.INT32
+    ),
+    "FP64": GemmVariant("FP64", Precision.FP64, Precision.FP64, Precision.FP64),
+    "FP32": GemmVariant("FP32", Precision.FP32, Precision.FP32, Precision.FP32),
+    "FP16_FP32ACC": GemmVariant(
+        "FP16_FP32ACC", Precision.FP16, Precision.FP32, Precision.FP32
+    ),
+    "BF16_FP32ACC": GemmVariant(
+        "BF16_FP32ACC", Precision.BF16, Precision.FP32, Precision.FP32
+    ),
+    "FP8_E4M3_FP32ACC": GemmVariant(
+        "FP8_E4M3_FP32ACC", Precision.FP8_E4M3, Precision.FP32, Precision.FP32
+    ),
+    "FP8_E5M2_FP32ACC": GemmVariant(
+        "FP8_E5M2_FP32ACC", Precision.FP8_E5M2, Precision.FP32, Precision.FP32
+    ),
+}
+
+
+def gemm_variant(name: str) -> GemmVariant:
+    """Look up a GEMM variant by its cuBLAS-style name."""
+    try:
+        return _VARIANTS[name.upper()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown GEMM variant {name!r}; available: {sorted(_VARIANTS)}"
+        ) from exc
+
+
+def variant_for_input(precision: Precision | str) -> GemmVariant:
+    """Choose the natural GEMM variant given the input tile precision.
+
+    Mirrors the fine-grained dispatch in Fig. 2 of the paper: integer
+    tiles go through the INT8/INT32 path, FP32 tiles through SGEMM, and
+    lower float precisions through a tensor-core variant with FP32
+    accumulation.
+    """
+    precision = Precision.from_string(precision)
+    mapping = {
+        Precision.INT8: "AB8I_C32I_OP32I",
+        Precision.INT32: "AB8I_C32I_OP32I",
+        Precision.FP64: "FP64",
+        Precision.FP32: "FP32",
+        Precision.FP16: "FP16_FP32ACC",
+        Precision.BF16: "BF16_FP32ACC",
+        Precision.FP8_E4M3: "FP8_E4M3_FP32ACC",
+        Precision.FP8_E5M2: "FP8_E5M2_FP32ACC",
+    }
+    return gemm_variant(mapping[precision])
+
+
+def _to_accumulator(x: np.ndarray, acc: Precision) -> np.ndarray:
+    if acc.is_integer:
+        return np.asarray(x, dtype=np.int64)  # wide host accumulator; overflow checked below
+    return np.asarray(x, dtype=np.float64 if acc is Precision.FP64 else np.float32)
+
+
+def gemm_mixed(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    variant: GemmVariant | str = "FP32",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    transa: bool = False,
+    transb: bool = False,
+) -> np.ndarray:
+    """Mixed-precision ``C = alpha * op(A) @ op(B) + beta * C``.
+
+    Operands are quantized to the variant's input precision, the
+    product is accumulated in the variant's accumulation precision, and
+    the result is rounded to the output precision.
+
+    For the integer variant the computation is exact provided the INT32
+    accumulator does not overflow; an overflow raises ``OverflowError``
+    (hardware would silently wrap, which is never acceptable for the
+    distance computation the paper performs).
+    """
+    if isinstance(variant, str):
+        variant = gemm_variant(variant)
+
+    op_a = np.asarray(a).T if transa else np.asarray(a)
+    op_b = np.asarray(b).T if transb else np.asarray(b)
+    if op_a.shape[-1] != op_b.shape[0]:
+        raise ValueError(
+            f"inner dimensions do not match: {op_a.shape} @ {op_b.shape}"
+        )
+
+    qa = quantize(op_a, variant.input_precision)
+    qb = quantize(op_b, variant.input_precision)
+
+    acc = variant.accumulate_precision
+    prod = _to_accumulator(qa, acc) @ _to_accumulator(qb, acc)
+
+    if acc.is_integer:
+        info = np.iinfo(np.int32)
+        if prod.size and (prod.max() > info.max or prod.min() < info.min):
+            raise OverflowError(
+                "INT32 accumulator overflow in integer GEMM; "
+                "reduce the inner dimension per tile (the paper tiles the "
+                "SNP dimension so partial sums stay in range)"
+            )
+        result = alpha * prod.astype(np.float64)
+    else:
+        # round the accumulated product once, as the hardware does on store
+        result = alpha * prod.astype(np.float64)
+
+    if beta != 0.0:
+        if c is None:
+            raise ValueError("beta != 0 requires C")
+        result = result + beta * np.asarray(c, dtype=np.float64)
+
+    return quantize(result, variant.output_precision)
+
+
+def syrk_mixed(
+    a: np.ndarray,
+    c: np.ndarray | None = None,
+    *,
+    variant: GemmVariant | str = "FP32",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    trans: bool = False,
+    lower: bool = True,
+) -> np.ndarray:
+    """Mixed-precision symmetric rank-k update.
+
+    ``C = alpha * A @ A.T + beta * C`` (``trans=False``) or
+    ``C = alpha * A.T @ A + beta * C`` (``trans=True``), with the same
+    quantize/accumulate/round pipeline as :func:`gemm_mixed`.  Only the
+    requested triangle is guaranteed meaningful, but for convenience the
+    full symmetric matrix is returned (both triangles are filled).
+    """
+    if isinstance(variant, str):
+        variant = gemm_variant(variant)
+    a_arr = np.asarray(a)
+    op = a_arr.T if trans else a_arr
+    full = gemm_mixed(
+        op, op, c=None, variant=variant, alpha=alpha, beta=0.0, transb=True
+    )
+    full64 = np.asarray(full, dtype=np.float64)
+    # symmetrize exactly (the emulated product may carry tiny rounding
+    # asymmetry from the per-element store rounding order)
+    full64 = np.tril(full64) + np.tril(full64, -1).T if lower else (
+        np.triu(full64) + np.triu(full64, 1).T
+    )
+    if beta != 0.0:
+        if c is None:
+            raise ValueError("beta != 0 requires C")
+        full64 = full64 + beta * np.asarray(c, dtype=np.float64)
+    return quantize(full64, variant.output_precision)
+
+
+def gemm_flop_count(m: int, n: int, k: int) -> int:
+    """Number of floating (or integer) operations of an ``m×k @ k×n`` GEMM."""
+    return 2 * m * n * k
+
+
+def syrk_flop_count(n: int, k: int) -> int:
+    """Operation count of a rank-k update producing an ``n×n`` symmetric matrix."""
+    return n * (n + 1) * k

@@ -1,0 +1,135 @@
+"""Rounding arrays to a target precision's value grid.
+
+``quantize`` is the single entry point used by the tile layer: given an
+array and a :class:`~repro.precision.formats.Precision` it returns the
+array rounded to that format's representable values.  For formats with
+a native NumPy dtype (FP64/FP32/FP16/INT8/INT32) this is a cast; for
+BF16 and FP8 it is a software round-to-nearest-even onto the format's
+grid, stored back in float32.
+
+INT8 quantization of real-valued data (needed when confounder columns
+are pushed through the integer tensor-core path) uses a symmetric
+linear scale recorded in :class:`Int8Quantization` so it can be undone
+after the integer GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.precision.fp8 import quantize_fp8
+
+
+def _quantize_bf16(x: np.ndarray) -> np.ndarray:
+    """Round float data to the bfloat16 grid (truncate to round-nearest-even)."""
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32)
+    # round-to-nearest-even on the upper 16 bits
+    rounding_bias = ((bits >> 16) & 1) + np.uint32(0x7FFF)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).copy()
+
+
+def quantize(x: np.ndarray, precision: Precision | str) -> np.ndarray:
+    """Round ``x`` onto the value grid of ``precision``.
+
+    The returned array's dtype is the format's storage dtype
+    (``float16`` for FP16, ``float32`` for BF16/FP8 grids, ``int8``
+    for INT8, ...).  Quantization is value-faithful: converting the
+    result back to float64 yields exactly the values low-precision
+    hardware would have stored.
+
+    For INT8 the input is rounded and clipped to [-128, 127]; use
+    :func:`quantize_int8` when a scale factor must be recorded.
+    """
+    precision = Precision.from_string(precision)
+    if precision is Precision.FP64:
+        return np.asarray(x, dtype=np.float64)
+    if precision is Precision.FP32:
+        return np.asarray(x, dtype=np.float32)
+    if precision is Precision.FP16:
+        x64 = np.asarray(x, dtype=np.float64)
+        clipped = np.clip(x64, -precision.max_finite, precision.max_finite)
+        return clipped.astype(np.float16)
+    if precision is Precision.BF16:
+        return _quantize_bf16(x)
+    if precision in (Precision.FP8_E4M3, Precision.FP8_E5M2):
+        return quantize_fp8(x, precision)
+    if precision is Precision.INT8:
+        x64 = np.asarray(x, dtype=np.float64)
+        return np.clip(np.rint(x64), -128, 127).astype(np.int8)
+    if precision is Precision.INT32:
+        x64 = np.asarray(x, dtype=np.float64)
+        info = np.iinfo(np.int32)
+        return np.clip(np.rint(x64), info.min, info.max).astype(np.int32)
+    raise ValueError(f"unsupported precision {precision}")
+
+
+def quantization_error(x: np.ndarray, precision: Precision | str,
+                       ord: str | int | None = "fro") -> float:
+    """Norm of the error introduced by quantizing ``x`` to ``precision``."""
+    x64 = np.asarray(x, dtype=np.float64)
+    q = np.asarray(quantize(x64, precision), dtype=np.float64)
+    diff = x64 - q
+    if diff.ndim == 1:
+        return float(np.linalg.norm(diff))
+    return float(np.linalg.norm(diff, ord=ord))
+
+
+@dataclass(frozen=True)
+class Int8Quantization:
+    """Result of symmetric INT8 quantization of a real-valued array.
+
+    ``values ≈ scale * q`` where ``q`` is the stored int8 array.  The
+    scale is chosen so the maximum absolute input maps to 127 (or 1.0
+    if the input is all-zero, to avoid division by zero).
+    """
+
+    q: np.ndarray
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        """Recover the (approximate) real values as float32."""
+        return (self.q.astype(np.float32)) * np.float32(self.scale)
+
+
+def quantize_int8(x: np.ndarray, scale: float | None = None) -> Int8Quantization:
+    """Symmetric linear quantization of ``x`` to INT8.
+
+    SNP genotypes (0/1/2) are already exact INT8 values and take
+    ``scale=1``; real-valued confounders use a data-derived scale.
+
+    Parameters
+    ----------
+    x:
+        Input array.
+    scale:
+        Optional fixed scale; when omitted, ``max(|x|)/127`` is used.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    if scale is None:
+        max_abs = float(np.max(np.abs(x64))) if x64.size else 0.0
+        scale = max_abs / 127.0 if max_abs > 0 else 1.0
+    q = np.clip(np.rint(x64 / scale), -128, 127).astype(np.int8)
+    return Int8Quantization(q=q, scale=float(scale))
+
+
+def dequantize_int8(quantized: Int8Quantization) -> np.ndarray:
+    """Functional form of :meth:`Int8Quantization.dequantize`."""
+    return quantized.dequantize()
+
+
+def storage_bytes(shape: tuple[int, ...], precision: Precision | str) -> int:
+    """Bytes needed to store an array of ``shape`` in ``precision``.
+
+    Used by the memory-footprint accounting (the paper highlights the
+    footprint reduction from the FP16/FP8 tile mosaic).
+    """
+    precision = Precision.from_string(precision)
+    n = 1
+    for dim in shape:
+        n *= int(dim)
+    return n * precision.bytes_per_element

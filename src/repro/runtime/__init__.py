@@ -1,0 +1,51 @@
+"""A PaRSEC-like dynamic task runtime (pure Python).
+
+The paper's GWAS software is written on top of PaRSEC: every tile
+operation (distance SYRK, kernel exponentiation, POTRF, TRSM, GEMM,
+precision conversion) is a *task*, tasks are connected by dataflow
+dependencies into a DAG, and the runtime schedules them over GPUs
+while deciding where precision conversions happen (sender vs receiver)
+to minimize the bytes moved.
+
+This package reproduces those semantics:
+
+``DataHandle`` / ``Task`` / ``TaskGraph``
+    Dataflow description — tasks declare read/write accesses on named
+    data handles; the graph derives dependencies from access order.
+``Device`` / ``DeviceModel``
+    A simulated execution resource with per-precision throughput and
+    link bandwidth, used to *time* the schedule (the numerics
+    themselves always execute exactly, in Python, on the host).
+``CommunicationEngine``
+    Byte accounting for tile transfers, including the
+    conversion-at-sender / conversion-at-receiver policy of Sec. VI-B1.
+``Scheduler`` / ``Runtime``
+    List scheduler producing an execution trace (per-task start/stop,
+    per-device busy time, critical path) plus the actual execution of
+    the task bodies in a valid topological order.
+"""
+
+from repro.runtime.task import AccessMode, DataHandle, Task
+from repro.runtime.dag import TaskGraph
+from repro.runtime.device import Device, DeviceModel
+from repro.runtime.comm import CommunicationEngine, ConversionPolicy, TransferRecord
+from repro.runtime.trace import ExecutionTrace, TaskEvent
+from repro.runtime.scheduler import Scheduler, ScheduleResult
+from repro.runtime.runtime import Runtime
+
+__all__ = [
+    "AccessMode",
+    "DataHandle",
+    "Task",
+    "TaskGraph",
+    "Device",
+    "DeviceModel",
+    "CommunicationEngine",
+    "ConversionPolicy",
+    "TransferRecord",
+    "ExecutionTrace",
+    "TaskEvent",
+    "Scheduler",
+    "ScheduleResult",
+    "Runtime",
+]

@@ -1,0 +1,147 @@
+"""Task DAG construction from dataflow access declarations.
+
+The :class:`TaskGraph` accumulates tasks in insertion order and derives
+edges from per-handle access history, exactly like a superscalar /
+dataflow runtime:
+
+* read-after-write  → true dependency,
+* write-after-read  → anti dependency,
+* write-after-write → output dependency.
+
+The underlying graph is a :class:`networkx.DiGraph`, which gives us
+topological sorting, critical-path computation and cycle detection for
+free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import networkx as nx
+
+from repro.runtime.task import AccessMode, DataHandle, Task
+
+
+class TaskGraph:
+    """Directed acyclic graph of :class:`~repro.runtime.task.Task`."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._tasks: list[Task] = []
+        # per-handle access history used to derive dependencies
+        self._last_writer: dict[DataHandle, Task] = {}
+        self._readers_since_write: dict[DataHandle, list[Task]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Insert a task, deriving dependency edges from its accesses."""
+        self.graph.add_node(task)
+        self._tasks.append(task)
+        for handle, mode in task.accesses:
+            if mode.reads:
+                writer = self._last_writer.get(handle)
+                if writer is not None and writer is not task:
+                    self.graph.add_edge(writer, task, handle=handle, kind="RAW")
+            if mode.writes:
+                # order after previous readers (WAR) and the previous writer (WAW)
+                for reader in self._readers_since_write.get(handle, []):
+                    if reader is not task:
+                        self.graph.add_edge(reader, task, handle=handle, kind="WAR")
+                writer = self._last_writer.get(handle)
+                if writer is not None and writer is not task:
+                    self.graph.add_edge(writer, task, handle=handle, kind="WAW")
+        # update history after edges are derived
+        for handle, mode in task.accesses:
+            if mode.writes:
+                self._last_writer[handle] = task
+                self._readers_since_write[handle] = []
+            if mode.reads:
+                self._readers_since_write[handle].append(task)
+        return task
+
+    def insert_task(self, name: str, *accesses, body=None, flops: float = 0.0,
+                    precision=None, priority: int = 0, tag=None) -> Task:
+        """PaRSEC-style convenience wrapper around :meth:`add_task`.
+
+        ``accesses`` is a flat sequence of ``(handle, mode)`` pairs.
+        """
+        from repro.precision.formats import Precision
+
+        task = Task(
+            name=name,
+            accesses=tuple(accesses),
+            body=body,
+            flops=flops,
+            precision=precision or Precision.FP64,
+            priority=priority,
+            tag=tag,
+        )
+        return self.add_task(task)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return list(self.graph.predecessors(task))
+
+    def successors(self, task: Task) -> list[Task]:
+        return list(self.graph.successors(task))
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def topological_order(self) -> list[Task]:
+        """A valid execution order (insertion-order stable where possible)."""
+        order_index = {t: i for i, t in enumerate(self._tasks)}
+        return list(nx.lexicographical_topological_sort(
+            self.graph, key=lambda t: order_index[t]
+        ))
+
+    def total_flops(self) -> float:
+        return float(sum(t.flops for t in self._tasks))
+
+    def critical_path_flops(self) -> float:
+        """Maximum sum of task flops along any dependency chain.
+
+        This is the lower bound on execution "work depth" and is what
+        limits strong scaling once communication is free.
+        """
+        if not self._tasks:
+            return 0.0
+        longest: dict[Task, float] = {}
+        for task in self.topological_order():
+            preds = self.predecessors(task)
+            best = max((longest[p] for p in preds), default=0.0)
+            longest[task] = best + float(task.flops)
+        return max(longest.values())
+
+    def task_counts_by_name(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for t in self._tasks:
+            counts[t.name] = counts.get(t.name, 0) + 1
+        return counts
+
+    def execute_sequential(self) -> None:
+        """Execute all task bodies in a valid topological order."""
+        for task in self.topological_order():
+            task.execute()
+
+    def __len__(self) -> int:
+        return self.num_tasks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskGraph({self.num_tasks} tasks, {self.num_edges} edges)"

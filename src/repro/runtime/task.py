@@ -1,0 +1,160 @@
+"""Tasks and data handles for the dataflow runtime.
+
+A :class:`Task` is a unit of work operating on named :class:`DataHandle`
+objects with declared access modes (READ / WRITE / READWRITE), exactly
+like PaRSEC's / StarPU's task insertion interface.  Dependencies are
+*derived* from the access declarations:
+
+* a READ after a WRITE on the same handle depends on that WRITE,
+* a WRITE after any previous access depends on all of them
+  (write-after-read and write-after-write ordering).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.precision.formats import Precision
+
+
+class AccessMode(enum.Enum):
+    """Data access declaration of a task parameter."""
+
+    READ = "R"
+    WRITE = "W"
+    READWRITE = "RW"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+
+
+_handle_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class DataHandle:
+    """A named piece of data tracked by the runtime.
+
+    In the GWAS application each handle is one matrix tile.  The handle
+    records the data's current storage precision and nominal size so the
+    communication engine can account for bytes moved and for the
+    sender/receiver conversion decision.
+    """
+
+    name: str
+    shape: tuple[int, ...] = ()
+    precision: Precision = Precision.FP64
+    payload: Any = None
+    home_device: int = 0
+    uid: int = field(default_factory=lambda: next(_handle_counter))
+
+    def nbytes(self, precision: Precision | None = None) -> int:
+        """Size of this datum in ``precision`` (default: current precision)."""
+        p = precision or self.precision
+        n = 1
+        for d in self.shape:
+            n *= int(d)
+        return n * p.bytes_per_element
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataHandle({self.name!r}, {self.shape}, {self.precision})"
+
+
+_task_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Task:
+    """One node of the task DAG.
+
+    Parameters
+    ----------
+    name:
+        Kernel name, e.g. ``"potrf"``, ``"gemm"``, ``"build_tile"``.
+    accesses:
+        Sequence of ``(handle, mode)`` pairs.
+    body:
+        Optional callable executed when the runtime runs the graph.  It
+        receives the handles' payloads in declaration order and should
+        return either ``None`` (in-place mutation) or a tuple of new
+        payloads for the written handles, in declaration order of the
+        writing accesses.
+    flops:
+        Operation count attributed to the task (for the performance
+        model / trace).
+    precision:
+        Compute precision class of the task (used to pick the device
+        throughput and by the conversion engine to know what precision
+        the task requires its inputs in).
+    priority:
+        Larger runs earlier among ready tasks (the tiled Cholesky gives
+        panel tasks higher priority, mirroring PaRSEC's priority hints).
+    tag:
+        Free-form metadata (tile coordinates etc.).
+    """
+
+    name: str
+    accesses: tuple[tuple[DataHandle, AccessMode], ...]
+    body: Callable[..., Any] | None = None
+    flops: float = 0.0
+    precision: Precision = Precision.FP64
+    priority: int = 0
+    tag: Any = None
+    uid: int = field(default_factory=lambda: next(_task_counter))
+
+    def __post_init__(self) -> None:
+        self.accesses = tuple(
+            (h, m if isinstance(m, AccessMode) else AccessMode(m))
+            for h, m in self.accesses
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> tuple[DataHandle, ...]:
+        return tuple(h for h, m in self.accesses if m.reads)
+
+    @property
+    def writes(self) -> tuple[DataHandle, ...]:
+        return tuple(h for h, m in self.accesses if m.writes)
+
+    def bytes_read(self) -> int:
+        return sum(h.nbytes() for h in self.reads)
+
+    def bytes_written(self) -> int:
+        return sum(h.nbytes() for h in self.writes)
+
+    def execute(self) -> None:
+        """Run the task body against the handles' payloads."""
+        if self.body is None:
+            return
+        args = [h.payload for h, _ in self.accesses]
+        result = self.body(*args)
+        if result is None:
+            return
+        if not isinstance(result, tuple):
+            result = (result,)
+        written = [h for h, m in self.accesses if m.writes]
+        if len(result) != len(written):
+            raise RuntimeError(
+                f"task {self.name!r} returned {len(result)} outputs for "
+                f"{len(written)} written handles"
+            )
+        for handle, value in zip(written, result):
+            handle.payload = value
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}#{self.uid}, tag={self.tag})"

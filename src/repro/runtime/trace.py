@@ -1,0 +1,111 @@
+"""Execution traces and timers.
+
+The paper's measurements come from runtime timers and flop counters
+("Measurement mechanism: Timers, Flops").  The trace collected by the
+scheduler records, for every task, the device it ran on, its simulated
+start/end times and its operation count, from which we derive the
+throughput, per-device utilization, and Gantt-style summaries used by
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.precision.formats import Precision
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task execution in the simulated schedule."""
+
+    task_name: str
+    task_uid: int
+    device: int
+    start: float
+    end: float
+    flops: float
+    precision: Precision
+    tag: object = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered collection of :class:`TaskEvent` plus derived statistics."""
+
+    events: list[TaskEvent] = field(default_factory=list)
+
+    def add(self, event: TaskEvent) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """End time of the last task (simulated seconds)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.events)
+
+    def throughput(self) -> float:
+        """Aggregate op/s over the schedule (the paper's "mixed-precision op/s")."""
+        span = self.makespan
+        return self.total_flops / span if span > 0 else 0.0
+
+    def flops_by_precision(self) -> dict[Precision, float]:
+        out: dict[Precision, float] = {}
+        for e in self.events:
+            out[e.precision] = out.get(e.precision, 0.0) + e.flops
+        return out
+
+    def busy_time_by_device(self) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for e in self.events:
+            out[e.device] = out.get(e.device, 0.0) + e.duration
+        return out
+
+    def utilization_by_device(self) -> dict[int, float]:
+        span = self.makespan
+        if span <= 0:
+            return {}
+        return {d: min(t / span, 1.0) for d, t in self.busy_time_by_device().items()}
+
+    def mean_utilization(self) -> float:
+        utils = self.utilization_by_device()
+        return sum(utils.values()) / len(utils) if utils else 0.0
+
+    def events_by_name(self) -> dict[str, list[TaskEvent]]:
+        out: dict[str, list[TaskEvent]] = {}
+        for e in self.events:
+            out.setdefault(e.task_name, []).append(e)
+        return out
+
+    def time_by_name(self) -> dict[str, float]:
+        return {name: sum(e.duration for e in evts)
+                for name, evts in self.events_by_name().items()}
+
+    def gantt_rows(self) -> dict[int, list[tuple[float, float, str]]]:
+        """Per-device list of ``(start, end, task_name)`` sorted by start."""
+        rows: dict[int, list[tuple[float, float, str]]] = {}
+        for e in sorted(self.events, key=lambda e: e.start):
+            rows.setdefault(e.device, []).append((e.start, e.end, e.task_name))
+        return rows
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics used by tests and reports."""
+        return {
+            "makespan": self.makespan,
+            "total_flops": self.total_flops,
+            "throughput": self.throughput(),
+            "num_tasks": float(self.num_tasks),
+            "mean_utilization": self.mean_utilization(),
+        }

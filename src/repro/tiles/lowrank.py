@@ -1,0 +1,273 @@
+"""Low-rank compression of off-diagonal tiles (the paper's outlook).
+
+The paper's Implications section notes that beyond the mixed-precision
+mosaic, "additional and potentially even greater data sparsity may be
+available from exploiting the smoothness of matrix tiles in the form of
+low-rank replacements of dense tiles", citing the HSS-based KRR of
+Chavez et al. and the ExaGeoStat Gordon Bell finalist that combined
+mixed precision with low rank under the same PaRSEC runtime.
+
+This module implements that extension at tile granularity:
+
+* :class:`LowRankTile` — a rank-``k`` factorization ``U @ V.T`` of one
+  tile, produced by a truncated SVD with either a fixed rank or a
+  relative Frobenius-norm tolerance, with the factors stored at a
+  chosen precision.
+* :func:`compress_tile` / :func:`compressible_rank` — the per-tile
+  compression decision.
+* :class:`TLRMatrix` — a tile-low-rank (TLR) view of a symmetric
+  matrix: diagonal tiles stay dense (at the working precision),
+  off-diagonal tiles are replaced by low-rank factors whenever that
+  saves storage at the requested accuracy.
+
+The compression composes with the precision mosaic: the ``U``/``V``
+factors themselves are quantized (FP32 by default, FP16 optionally),
+so the footprint accounting reflects both sources of compression —
+exactly the synergy the paper proposes to explore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize, storage_bytes
+from repro.tiles.layout import TileLayout
+
+__all__ = ["LowRankTile", "compress_tile", "compressible_rank", "TLRMatrix"]
+
+
+@dataclass
+class LowRankTile:
+    """A rank-``k`` representation ``U @ V.T`` of one matrix tile.
+
+    Attributes
+    ----------
+    u, v:
+        Factors of shape ``(m, k)`` and ``(n, k)``; stored quantized to
+        ``precision``.
+    precision:
+        Storage precision of the factors.
+    original_shape:
+        Shape of the dense tile this factorization replaces.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    precision: Precision = Precision.FP32
+    original_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        self.u = quantize(np.asarray(self.u), self.precision)
+        self.v = quantize(np.asarray(self.v), self.precision)
+        if self.u.shape[1] != self.v.shape[1]:
+            raise ValueError("U and V must share the rank dimension")
+        if self.original_shape is None:
+            self.original_shape = (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return int(self.u.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.original_shape
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense tile (float64)."""
+        return np.asarray(self.u, dtype=np.float64) @ \
+            np.asarray(self.v, dtype=np.float64).T
+
+    def nbytes(self) -> int:
+        """Storage footprint of the factors."""
+        return (storage_bytes(self.u.shape, self.precision)
+                + storage_bytes(self.v.shape, self.precision))
+
+    def compression_ratio(self) -> float:
+        """Dense-FP32 bytes divided by the factor bytes (>1 means smaller)."""
+        dense = storage_bytes(self.original_shape, Precision.FP32)
+        own = self.nbytes()
+        return dense / own if own else float("inf")
+
+
+def compressible_rank(tile: np.ndarray, tolerance: float) -> int:
+    """Numerical rank of ``tile`` at a relative Frobenius tolerance.
+
+    Smallest ``k`` such that the best rank-``k`` approximation satisfies
+    ``||A - A_k||_F <= tolerance * ||A||_F``.
+    """
+    tile = np.asarray(tile, dtype=np.float64)
+    if tile.size == 0:
+        return 0
+    s = np.linalg.svd(tile, compute_uv=False)
+    total = float(np.sum(s ** 2))
+    if total == 0.0:
+        return 0
+    tail = np.sqrt(np.maximum(total - np.cumsum(s ** 2), 0.0) / total)
+    threshold = max(tolerance, 0.0)
+    ranks = np.nonzero(tail <= threshold)[0]
+    return int(ranks[0] + 1) if ranks.size else int(len(s))
+
+
+def compress_tile(tile: np.ndarray, tolerance: float = 1e-3,
+                  max_rank: int | None = None,
+                  precision: Precision | str = Precision.FP32) -> LowRankTile:
+    """Compress one tile to a :class:`LowRankTile` by truncated SVD.
+
+    Parameters
+    ----------
+    tile:
+        Dense tile.
+    tolerance:
+        Relative Frobenius-norm truncation tolerance.
+    max_rank:
+        Optional hard cap on the retained rank.
+    precision:
+        Storage precision of the factors.
+    """
+    tile = np.asarray(tile, dtype=np.float64)
+    u, s, vt = np.linalg.svd(tile, full_matrices=False)
+    k = compressible_rank(tile, tolerance)
+    if max_rank is not None:
+        k = min(k, max_rank)
+    k = max(k, 1) if tile.size else 0
+    scaled_u = u[:, :k] * s[:k]
+    return LowRankTile(u=scaled_u, v=vt[:k, :].T,
+                       precision=Precision.from_string(precision),
+                       original_shape=tile.shape)
+
+
+class TLRMatrix:
+    """Tile-low-rank (TLR) representation of a symmetric matrix.
+
+    Diagonal tiles are kept dense at ``dense_precision``; each strictly
+    lower off-diagonal tile is replaced by a :class:`LowRankTile`
+    whenever the rank-``k`` factors at the requested ``tolerance`` are
+    smaller than the dense tile (otherwise the dense tile is kept).
+    The upper triangle is implied by symmetry.
+
+    This mirrors the TLR format of HiCMA / the ExaGeoStat line of work
+    that the paper cites as the natural next step beyond the precision
+    mosaic.
+    """
+
+    def __init__(self, dense: np.ndarray, tile_size: int,
+                 tolerance: float = 1e-3,
+                 dense_precision: Precision | str = Precision.FP32,
+                 factor_precision: Precision | str = Precision.FP32,
+                 max_rank: int | None = None) -> None:
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError("TLRMatrix requires a square matrix")
+        self.layout = TileLayout.square(dense.shape[0], tile_size)
+        self.tolerance = float(tolerance)
+        self.dense_precision = Precision.from_string(dense_precision)
+        self.factor_precision = Precision.from_string(factor_precision)
+
+        self._dense_tiles: dict[tuple[int, int], np.ndarray] = {}
+        self._lowrank_tiles: dict[tuple[int, int], LowRankTile] = {}
+
+        for i, j in self.layout.iter_lower_tiles():
+            rs, cs = self.layout.tile_slice(i, j)
+            block = dense[rs, cs]
+            if i == j:
+                self._dense_tiles[(i, j)] = np.asarray(
+                    quantize(block, self.dense_precision), dtype=np.float64)
+                continue
+            lr = compress_tile(block, tolerance=tolerance, max_rank=max_rank,
+                               precision=self.factor_precision)
+            dense_bytes = storage_bytes(block.shape, self.dense_precision)
+            if lr.nbytes() < dense_bytes:
+                self._lowrank_tiles[(i, j)] = lr
+            else:
+                self._dense_tiles[(i, j)] = np.asarray(
+                    quantize(block, self.dense_precision), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.layout.rows, self.layout.cols)
+
+    @property
+    def num_lowrank_tiles(self) -> int:
+        return len(self._lowrank_tiles)
+
+    @property
+    def num_dense_tiles(self) -> int:
+        return len(self._dense_tiles)
+
+    def tile_rank(self, i: int, j: int) -> int | None:
+        """Rank of tile ``(i, j)`` if stored low-rank, else ``None``."""
+        if j > i:
+            i, j = j, i
+        lr = self._lowrank_tiles.get((i, j))
+        return lr.rank if lr is not None else None
+
+    def max_offdiagonal_rank(self) -> int:
+        return max((lr.rank for lr in self._lowrank_tiles.values()), default=0)
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the full symmetric matrix (float64)."""
+        n = self.layout.rows
+        out = np.zeros((n, n))
+        for (i, j), block in self._dense_tiles.items():
+            rs, cs = self.layout.tile_slice(i, j)
+            out[rs, cs] = block
+            if i != j:
+                out[cs, rs] = block.T
+        for (i, j), lr in self._lowrank_tiles.items():
+            rs, cs = self.layout.tile_slice(i, j)
+            block = lr.to_dense()
+            out[rs, cs] = block
+            out[cs, rs] = block.T
+        return out
+
+    def nbytes(self) -> int:
+        """Storage footprint of the TLR representation (lower triangle)."""
+        total = sum(storage_bytes(b.shape, self.dense_precision)
+                    for b in self._dense_tiles.values())
+        total += sum(lr.nbytes() for lr in self._lowrank_tiles.values())
+        return total
+
+    def dense_nbytes(self) -> int:
+        """Footprint of the same lower triangle stored dense at the working precision."""
+        total = 0
+        for i, j in self.layout.iter_lower_tiles():
+            shape = self.layout.tile_shape(i, j)
+            total += storage_bytes(shape, self.dense_precision)
+        return total
+
+    def compression_ratio(self) -> float:
+        own = self.nbytes()
+        return self.dense_nbytes() / own if own else float("inf")
+
+    def relative_error(self, reference: np.ndarray) -> float:
+        """Relative Frobenius error of the TLR approximation vs ``reference``."""
+        reference = np.asarray(reference, dtype=np.float64)
+        denom = np.linalg.norm(reference)
+        if denom == 0:
+            return 0.0
+        return float(np.linalg.norm(self.to_dense() - reference) / denom)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Matrix-vector product using the compressed representation."""
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        n = self.layout.rows
+        out = np.zeros((n, x.shape[1]))
+        for (i, j), block in self._dense_tiles.items():
+            rs, cs = self.layout.tile_slice(i, j)
+            out[rs] += block @ x[cs]
+            if i != j:
+                out[cs] += block.T @ x[rs]
+        for (i, j), lr in self._lowrank_tiles.items():
+            rs, cs = self.layout.tile_slice(i, j)
+            u = np.asarray(lr.u, dtype=np.float64)
+            v = np.asarray(lr.v, dtype=np.float64)
+            out[rs] += u @ (v.T @ x[cs])
+            out[cs] += v @ (u.T @ x[rs])
+        return out[:, 0] if squeeze else out

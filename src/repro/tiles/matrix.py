@@ -1,0 +1,230 @@
+"""Tiled matrix container with a per-tile precision mosaic.
+
+``TileMatrix`` is the central data structure of the reproduction: the
+kernel matrix ``K``, the Cholesky factor, and the phenotype/weight
+panels are all held as tile grids.  The container supports
+
+* construction from / conversion to dense NumPy arrays,
+* a per-tile precision map (the "mosaic" of the adaptive rule),
+* symmetric storage (only the lower triangle held explicitly),
+* memory-footprint accounting per precision, and
+* per-tile access used by the tiled algorithms in ``repro.linalg``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.tiles.layout import TileLayout
+from repro.tiles.tile import Tile
+
+PrecisionMap = Mapping[tuple[int, int], Precision] | Callable[[int, int], Precision] | Precision
+
+
+def _resolve_precision(pmap: PrecisionMap, i: int, j: int) -> Precision:
+    if isinstance(pmap, Precision):
+        return pmap
+    if callable(pmap):
+        return Precision.from_string(pmap(i, j))
+    return Precision.from_string(pmap[(i, j)])
+
+
+class TileMatrix:
+    """A matrix stored as a grid of :class:`~repro.tiles.tile.Tile`.
+
+    Parameters
+    ----------
+    layout:
+        Tile-grid geometry.
+    precision:
+        Default precision for tiles that are not covered by an explicit
+        per-tile map.
+    symmetric:
+        When True only the lower-triangular tiles are stored; reads of
+        upper tiles return the transpose of the mirrored lower tile.
+    """
+
+    def __init__(
+        self,
+        layout: TileLayout,
+        precision: Precision | str = Precision.FP64,
+        symmetric: bool = False,
+    ) -> None:
+        if symmetric and layout.rows != layout.cols:
+            raise ValueError("symmetric TileMatrix requires a square matrix")
+        self.layout = layout
+        self.default_precision = Precision.from_string(precision)
+        self.symmetric = symmetric
+        self._tiles: dict[tuple[int, int], Tile] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        tile_size: int,
+        precision: PrecisionMap = Precision.FP64,
+        symmetric: bool = False,
+    ) -> "TileMatrix":
+        """Build a tiled copy of a dense matrix.
+
+        ``precision`` may be a single :class:`Precision`, a mapping
+        ``{(i, j): Precision}``, or a callable ``(i, j) -> Precision``.
+        """
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2D array")
+        layout = TileLayout(rows=dense.shape[0], cols=dense.shape[1], tile_size=tile_size)
+        default = precision if isinstance(precision, Precision) else Precision.FP64
+        out = cls(layout, precision=default, symmetric=symmetric)
+        tiles = layout.iter_lower_tiles() if symmetric else layout.iter_tiles()
+        for i, j in tiles:
+            rs, cs = layout.tile_slice(i, j)
+            p = _resolve_precision(precision, i, j)
+            out._tiles[(i, j)] = Tile(dense[rs, cs], precision=p, coords=(i, j))
+        return out
+
+    @classmethod
+    def zeros(
+        cls,
+        rows: int,
+        cols: int,
+        tile_size: int,
+        precision: Precision | str = Precision.FP64,
+        symmetric: bool = False,
+    ) -> "TileMatrix":
+        """All-zero tiled matrix."""
+        return cls.from_dense(
+            np.zeros((rows, cols)), tile_size, Precision.from_string(precision),
+            symmetric=symmetric,
+        )
+
+    # ------------------------------------------------------------------
+    # shape info
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.layout.rows, self.layout.cols)
+
+    @property
+    def tile_size(self) -> int:
+        return self.layout.tile_size
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.layout.grid_shape
+
+    # ------------------------------------------------------------------
+    # tile access
+    # ------------------------------------------------------------------
+    def _stored_key(self, i: int, j: int) -> tuple[tuple[int, int], bool]:
+        """Return the stored tile key and whether a transpose is needed."""
+        self.layout._check(i, j)
+        if self.symmetric and j > i:
+            return (j, i), True
+        return (i, j), False
+
+    def get_tile(self, i: int, j: int) -> Tile:
+        """Return tile ``(i, j)``.
+
+        For symmetric matrices, upper-triangle reads return a transposed
+        *copy* of the stored lower tile.
+        """
+        key, transpose = self._stored_key(i, j)
+        if key not in self._tiles:
+            shape = self.layout.tile_shape(*key)
+            self._tiles[key] = Tile(
+                np.zeros(shape), precision=self.default_precision, coords=key
+            )
+        tile = self._tiles[key]
+        if transpose:
+            return Tile(tile.to_float64().T, precision=tile.precision, coords=(i, j))
+        return tile
+
+    def set_tile(self, i: int, j: int, data: np.ndarray,
+                 precision: Precision | str | None = None) -> None:
+        """Overwrite tile ``(i, j)`` (writes to upper mirror the lower)."""
+        key, transpose = self._stored_key(i, j)
+        payload = np.asarray(data).T if transpose else np.asarray(data)
+        expected = self.layout.tile_shape(*key)
+        if payload.shape != expected:
+            raise ValueError(
+                f"tile {key} expects shape {expected}, got {payload.shape}"
+            )
+        p = Precision.from_string(precision) if precision is not None else (
+            self._tiles[key].precision if key in self._tiles else self.default_precision
+        )
+        self._tiles[key] = Tile(payload, precision=p, coords=key)
+
+    def tile_precision(self, i: int, j: int) -> Precision:
+        key, _ = self._stored_key(i, j)
+        if key in self._tiles:
+            return self._tiles[key].precision
+        return self.default_precision
+
+    def set_tile_precision(self, i: int, j: int, precision: Precision | str) -> None:
+        """Re-quantize one tile to a new storage precision."""
+        key, _ = self._stored_key(i, j)
+        tile = self.get_tile(*key)
+        self._tiles[key] = tile.convert(precision)
+
+    def apply_precision_map(self, pmap: PrecisionMap) -> None:
+        """Re-quantize every stored tile according to a precision map."""
+        for (i, j) in list(self._iter_stored()):
+            self.set_tile_precision(i, j, _resolve_precision(pmap, i, j))
+
+    def precision_grid(self) -> np.ndarray:
+        """Object array of the current per-tile precisions (full grid)."""
+        grid = np.empty(self.layout.grid_shape, dtype=object)
+        for i, j in self.layout.iter_tiles():
+            grid[i, j] = self.tile_precision(i, j)
+        return grid
+
+    def _iter_stored(self) -> Iterator[tuple[int, int]]:
+        if self.symmetric:
+            yield from self.layout.iter_lower_tiles()
+        else:
+            yield from self.layout.iter_tiles()
+
+    # ------------------------------------------------------------------
+    # dense conversion and numerics
+    # ------------------------------------------------------------------
+    def to_dense(self, dtype: np.dtype | type = np.float64) -> np.ndarray:
+        """Materialize the full dense matrix."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        for i, j in self.layout.iter_tiles():
+            rs, cs = self.layout.tile_slice(i, j)
+            out[rs, cs] = self.get_tile(i, j).to_float64()
+        return out.astype(dtype)
+
+    def norm(self, ord: str | int = "fro") -> float:
+        return float(np.linalg.norm(self.to_dense(), ord=ord))
+
+    def nbytes(self) -> int:
+        """Total storage footprint under the current precision mosaic."""
+        return sum(t.nbytes for t in self._tiles.values())
+
+    def footprint_by_precision(self) -> dict[Precision, int]:
+        """Bytes stored per precision (used for footprint-reduction reporting)."""
+        out: dict[Precision, int] = {}
+        for t in self._tiles.values():
+            out[t.precision] = out.get(t.precision, 0) + t.nbytes
+        return out
+
+    def copy(self) -> "TileMatrix":
+        dup = TileMatrix(self.layout, self.default_precision, self.symmetric)
+        dup._tiles = {k: t.copy() for k, t in self._tiles.items()}
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sym = ", symmetric" if self.symmetric else ""
+        return (
+            f"TileMatrix({self.shape[0]}x{self.shape[1]}, tile={self.tile_size}, "
+            f"grid={self.grid_shape}{sym})"
+        )

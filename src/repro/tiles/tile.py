@@ -1,0 +1,113 @@
+"""A single matrix tile with an attached storage precision.
+
+Tiles are the unit of both storage and computation in the paper's
+runtime: each tile carries its own precision, and every task (POTRF,
+TRSM, SYRK, GEMM, kernel-build) consumes/produces tiles.  A ``Tile``
+always keeps its payload quantized to its declared precision, so
+conversions are explicit (:meth:`Tile.convert`), mirroring the
+datatype-conversion tasks PaRSEC inserts on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize, storage_bytes
+
+
+@dataclass
+class Tile:
+    """One tile of a :class:`~repro.tiles.matrix.TileMatrix`.
+
+    Parameters
+    ----------
+    data:
+        Tile payload.  Stored quantized to ``precision`` (the array's
+        values lie on that format's grid even when the dtype is a wider
+        container, as for FP8/BF16).
+    precision:
+        Storage precision of the tile.
+    coords:
+        Optional ``(i, j)`` coordinates in the parent tile grid; kept
+        for tracing and debugging.
+    """
+
+    data: np.ndarray
+    precision: Precision = Precision.FP64
+    coords: tuple[int, int] | None = None
+    _version: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.data = quantize(np.asarray(self.data), self.precision)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in the tile's declared precision."""
+        return storage_bytes(self.data.shape, self.precision)
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version (bumped on every write)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # conversions and updates
+    # ------------------------------------------------------------------
+    def to_float64(self) -> np.ndarray:
+        """Return the tile's values as a float64 array (copy)."""
+        return np.asarray(self.data, dtype=np.float64).copy()
+
+    def convert(self, precision: Precision | str) -> "Tile":
+        """Return a new tile re-quantized to ``precision``.
+
+        Conversion to a narrower precision loses information (that is
+        the point of the adaptive mosaic); conversion back to a wider
+        precision does not recover it.
+        """
+        precision = Precision.from_string(precision)
+        return Tile(data=self.to_float64(), precision=precision, coords=self.coords)
+
+    def convert_(self, precision: Precision | str) -> "Tile":
+        """In-place re-quantization; returns ``self`` for chaining."""
+        precision = Precision.from_string(precision)
+        self.data = quantize(self.to_float64(), precision)
+        self.precision = precision
+        self._version += 1
+        return self
+
+    def update(self, data: np.ndarray) -> "Tile":
+        """Replace the payload (quantized to the tile's precision)."""
+        self.data = quantize(np.asarray(data), self.precision)
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # numerics helpers
+    # ------------------------------------------------------------------
+    def norm(self, ord: str | int = "fro") -> float:
+        """Norm of the tile's stored values."""
+        d = self.to_float64()
+        if d.ndim <= 1:
+            return float(np.linalg.norm(d))
+        return float(np.linalg.norm(d, ord=ord))
+
+    def max_abs(self) -> float:
+        d = self.to_float64()
+        return float(np.max(np.abs(d))) if d.size else 0.0
+
+    def copy(self) -> "Tile":
+        return Tile(data=self.to_float64(), precision=self.precision, coords=self.coords)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f" at {self.coords}" if self.coords is not None else ""
+        return f"Tile({self.shape}, {self.precision}{where})"

@@ -1,0 +1,76 @@
+"""Tests for the univariate per-SNP GWAS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.univariate import UnivariateGWAS
+
+
+@pytest.fixture
+def causal_setup(rng):
+    n, ns = 600, 30
+    g = rng.integers(0, 3, size=(n, ns)).astype(np.float64)
+    causal = [3, 17]
+    y = 1.0 * g[:, 3] - 0.8 * g[:, 17] + rng.normal(size=n)
+    return g, y, causal
+
+
+class TestScan:
+    def test_detects_causal_snps(self, causal_setup):
+        g, y, causal = causal_setup
+        result = UnivariateGWAS(alpha=0.05).scan(g, y)
+        top = set(result.top_hits(2))
+        assert set(causal) == top
+        assert result.significant[3] and result.significant[17]
+
+    def test_null_snps_rarely_significant(self, rng):
+        n, ns = 500, 40
+        g = rng.integers(0, 3, size=(n, ns)).astype(np.float64)
+        y = rng.normal(size=n)
+        result = UnivariateGWAS(alpha=0.05).scan(g, y)
+        # Bonferroni keeps family-wise error ~5%
+        assert result.n_significant <= 2
+
+    def test_p_values_in_unit_interval(self, causal_setup):
+        g, y, _ = causal_setup
+        result = UnivariateGWAS().scan(g, y)
+        assert np.all(result.p_values >= 0) and np.all(result.p_values <= 1)
+        assert result.threshold == pytest.approx(0.05 / g.shape[1])
+
+    def test_effect_sign_recovered(self, causal_setup):
+        g, y, _ = causal_setup
+        result = UnivariateGWAS().scan(g, y)
+        assert result.betas[3] > 0
+        assert result.betas[17] < 0
+
+    def test_covariate_adjustment_removes_confounded_hit(self, rng):
+        n = 600
+        confounder = rng.normal(size=n)
+        # SNP correlated with the confounder; phenotype driven by confounder only
+        g = np.clip(np.rint(1.0 + 0.8 * confounder + 0.3 * rng.normal(size=n)),
+                    0, 2)[:, None]
+        y = 2.0 * confounder + rng.normal(size=n)
+        unadjusted = UnivariateGWAS().scan(g, y)
+        adjusted = UnivariateGWAS().scan(g, y, covariates=confounder[:, None])
+        assert adjusted.p_values[0] > unadjusted.p_values[0]
+
+    def test_monomorphic_snp_handled(self, rng):
+        g = np.hstack([np.full((100, 1), 2.0), rng.integers(0, 3, size=(100, 3))])
+        y = rng.normal(size=100)
+        result = UnivariateGWAS().scan(g, y)
+        assert result.p_values[0] == 1.0
+        assert result.betas[0] == 0.0
+
+    def test_multivariate_wrapper(self, causal_setup):
+        g, y, _ = causal_setup
+        results = UnivariateGWAS().scan_multivariate(g, np.column_stack([y, -y]))
+        assert len(results) == 2
+        np.testing.assert_allclose(results[0].betas, -results[1].betas, atol=1e-10)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            UnivariateGWAS(alpha=0.0)
+        with pytest.raises(ValueError):
+            UnivariateGWAS().scan(rng.normal(size=(10, 3)), rng.normal(size=8))
+        with pytest.raises(ValueError):
+            UnivariateGWAS().scan(rng.normal(size=(3, 2)), rng.normal(size=3))

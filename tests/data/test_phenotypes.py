@@ -1,0 +1,104 @@
+"""Tests for the phenotype simulation models."""
+
+import numpy as np
+import pytest
+
+from repro.data.phenotypes import (
+    PhenotypeModel,
+    liability_to_binary,
+    simulate_phenotypes,
+)
+
+
+class TestPhenotypeModel:
+    def test_standardized_output(self, small_genotypes):
+        model = PhenotypeModel(seed=0)
+        y = model.simulate(small_genotypes)
+        assert y.shape == (small_genotypes.shape[0],)
+        assert abs(y.mean()) < 1e-9
+        assert y.std() == pytest.approx(1.0)
+
+    def test_records_causal_architecture(self, small_genotypes):
+        model = PhenotypeModel(n_causal=10, n_epistatic_pairs=5, seed=1)
+        model.simulate(small_genotypes)
+        assert model.causal_snps_.shape == (10,)
+        assert model.epistatic_pairs_.shape == (5, 2)
+        assert np.all(model.epistatic_pairs_[:, 0] != model.epistatic_pairs_[:, 1])
+
+    def test_deterministic_with_seed(self, small_genotypes):
+        y1 = PhenotypeModel(seed=3).simulate(small_genotypes)
+        y2 = PhenotypeModel(seed=3).simulate(small_genotypes)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_heritable_signal_correlates_with_genotypes(self, small_genotypes):
+        # a highly heritable additive trait must be predictable from the
+        # causal SNPs by OLS within the training data
+        model = PhenotypeModel(n_causal=5, n_epistatic_pairs=0,
+                               heritability_additive=0.9,
+                               heritability_epistatic=0.0, seed=4)
+        y = model.simulate(small_genotypes)
+        x = small_genotypes[:, model.causal_snps_].astype(float)
+        x = np.column_stack([np.ones(len(y)), x])
+        beta, *_ = np.linalg.lstsq(x, y, rcond=None)
+        r2 = 1 - np.sum((y - x @ beta) ** 2) / np.sum((y - y.mean()) ** 2)
+        assert r2 > 0.7
+
+    def test_pure_noise_when_no_heritability(self, small_genotypes):
+        model = PhenotypeModel(heritability_additive=0.0,
+                               heritability_epistatic=0.0,
+                               confounder_variance=0.0, seed=5)
+        y = model.simulate(small_genotypes)
+        assert y.std() == pytest.approx(1.0)
+
+    def test_confounder_component(self, small_genotypes, rng):
+        conf = rng.normal(size=(small_genotypes.shape[0], 2))
+        model = PhenotypeModel(heritability_additive=0.0,
+                               heritability_epistatic=0.0,
+                               confounder_variance=0.9, seed=6)
+        y = model.simulate(small_genotypes, conf)
+        # the phenotype must correlate strongly with some linear
+        # combination of the confounders
+        beta, *_ = np.linalg.lstsq(np.column_stack([np.ones(len(y)), conf]), y,
+                                   rcond=None)
+        pred = np.column_stack([np.ones(len(y)), conf]) @ beta
+        assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+    def test_invalid_variance_components(self):
+        with pytest.raises(ValueError):
+            PhenotypeModel(heritability_additive=0.7, heritability_epistatic=0.5)
+        with pytest.raises(ValueError):
+            PhenotypeModel(heritability_additive=-0.1)
+        with pytest.raises(ValueError):
+            PhenotypeModel(n_causal=-1)
+
+
+class TestLiabilityThreshold:
+    def test_prevalence_respected(self, rng):
+        liability = rng.standard_normal(2000)
+        status = liability_to_binary(liability, prevalence=0.2)
+        assert set(np.unique(status)).issubset({0.0, 1.0})
+        assert status.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_cases_have_higher_liability(self, rng):
+        liability = rng.standard_normal(500)
+        status = liability_to_binary(liability, prevalence=0.3)
+        assert liability[status == 1].min() >= liability[status == 0].max() - 1e-12
+
+    def test_invalid_prevalence(self):
+        with pytest.raises(ValueError):
+            liability_to_binary(np.zeros(10), prevalence=0.0)
+
+
+class TestSimulatePhenotypes:
+    def test_panel_shape(self, small_genotypes):
+        y = simulate_phenotypes(small_genotypes, n_phenotypes=4, seed=7)
+        assert y.shape == (small_genotypes.shape[0], 4)
+
+    def test_phenotypes_differ_across_columns(self, small_genotypes):
+        y = simulate_phenotypes(small_genotypes, n_phenotypes=2, seed=8)
+        assert abs(np.corrcoef(y[:, 0], y[:, 1])[0, 1]) < 0.5
+
+    def test_deterministic_panel(self, small_genotypes):
+        y1 = simulate_phenotypes(small_genotypes, n_phenotypes=2, seed=9)
+        y2 = simulate_phenotypes(small_genotypes, n_phenotypes=2, seed=9)
+        np.testing.assert_array_equal(y1, y2)

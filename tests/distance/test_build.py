@@ -1,0 +1,109 @@
+"""Tests for the fused tile-wise Build phase."""
+
+import numpy as np
+import pytest
+
+from repro.distance.build import BuildResult, KernelBuilder, build_kernel_matrix
+from repro.distance.euclidean import squared_euclidean_gemm
+from repro.distance.kernels import gaussian_kernel, ibs_kernel
+from repro.precision.formats import Precision
+from repro.tiles.adaptive import AdaptivePrecisionRule, candidates_for_gpu
+from repro.tiles.matrix import TileMatrix
+
+
+@pytest.fixture
+def genotypes(small_genotypes):
+    return small_genotypes[:60]
+
+
+@pytest.fixture
+def confounders(rng, genotypes):
+    return rng.normal(size=(genotypes.shape[0], 3))
+
+
+class TestTrainingBuild:
+    def test_matches_reference_kernel(self, genotypes):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        result = builder.build_training(genotypes)
+        expected = gaussian_kernel(squared_euclidean_gemm(genotypes), 0.03)
+        np.testing.assert_allclose(result.to_dense(), expected, rtol=1e-6, atol=1e-6)
+
+    def test_returns_symmetric_tile_matrix(self, genotypes):
+        result = build_kernel_matrix(genotypes, gamma=0.02, tile_size=16)
+        assert isinstance(result.kernel, TileMatrix)
+        assert result.kernel.symmetric
+        k = result.to_dense()
+        np.testing.assert_allclose(k, k.T)
+        np.testing.assert_allclose(np.diag(k), 1.0)
+
+    def test_confounders_included_in_distance(self, genotypes, confounders):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        with_conf = builder.build_training(genotypes, confounders).to_dense()
+        without = builder.build_training(genotypes).to_dense()
+        assert not np.allclose(with_conf, without)
+        # confounder distances only decrease the kernel values off-diagonal
+        off = ~np.eye(genotypes.shape[0], dtype=bool)
+        assert np.all(with_conf[off] <= without[off] + 1e-12)
+
+    def test_confounder_reference(self, genotypes, confounders):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        result = builder.build_training(genotypes, confounders)
+        full = np.hstack([genotypes.astype(np.float64), confounders])
+        expected = gaussian_kernel(squared_euclidean_gemm(full, precision="fp64"), 0.03)
+        np.testing.assert_allclose(result.to_dense(), expected, rtol=1e-4, atol=1e-4)
+
+    def test_adaptive_rule_sets_precision_map(self, genotypes):
+        rule = AdaptivePrecisionRule(candidates=candidates_for_gpu("A100"))
+        builder = KernelBuilder(gamma=0.2, tile_size=16, adaptive_rule=rule)
+        result = builder.build_training(genotypes)
+        assert result.precision_map is not None
+        precisions = set(result.precision_map.values())
+        assert Precision.FP32 in precisions  # diagonal tiles
+
+    def test_flop_accounting(self, genotypes):
+        result = build_kernel_matrix(genotypes, gamma=0.02, tile_size=16)
+        n, ns = genotypes.shape
+        assert result.flops == pytest.approx(2.0 * n * n * ns, rel=0.6)
+        assert Precision.INT8 in result.flops_by_precision
+
+    def test_ibs_kernel_type(self, genotypes):
+        builder = KernelBuilder(kernel_type="ibs", tile_size=16)
+        result = builder.build_training(genotypes)
+        np.testing.assert_allclose(result.to_dense(), ibs_kernel(genotypes),
+                                   atol=1e-12)
+
+    def test_invalid_kernel_type(self):
+        with pytest.raises(ValueError):
+            KernelBuilder(kernel_type="polynomial")
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValueError):
+            KernelBuilder(tile_size=0)
+
+
+class TestCrossBuild:
+    def test_cross_kernel_matches_reference(self, genotypes):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        test = genotypes[:20]
+        train = genotypes[20:]
+        result = builder.build_cross(test, train)
+        expected = gaussian_kernel(squared_euclidean_gemm(test, train), 0.03)
+        np.testing.assert_allclose(result.to_dense(), expected, rtol=1e-6, atol=1e-6)
+        assert result.to_dense().shape == (20, 40)
+
+    def test_cross_with_confounders_requires_both(self, genotypes, confounders):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        with pytest.raises(ValueError):
+            builder.build_cross(genotypes[:10], genotypes[10:],
+                                confounders[:10], None)
+
+    def test_mismatched_snps_raise(self, genotypes):
+        builder = KernelBuilder(tile_size=16)
+        with pytest.raises(ValueError):
+            builder.build_cross(genotypes[:10, :20], genotypes[10:, :30])
+
+    def test_result_dataclass(self, genotypes):
+        builder = KernelBuilder(tile_size=16)
+        result = builder.build_cross(genotypes[:10], genotypes[10:])
+        assert isinstance(result, BuildResult)
+        assert result.precision_map is None

@@ -1,0 +1,221 @@
+"""Tests for the experiment drivers (scaled-down paper figures/tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import format_table, format_value
+from repro.experiments.scale import SCALE_PRESETS, ScalePreset, get_scale
+from repro.precision.formats import Precision
+
+
+class TestScalePresets:
+    def test_known_presets(self):
+        assert set(SCALE_PRESETS) == {"tiny", "small", "medium", "large"}
+        assert get_scale("small").name == "small"
+
+    def test_preset_passthrough(self):
+        preset = SCALE_PRESETS["tiny"]
+        assert get_scale(preset) is preset
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_sizes_increase_with_scale(self):
+        assert (SCALE_PRESETS["tiny"].n_individuals
+                < SCALE_PRESETS["small"].n_individuals
+                < SCALE_PRESETS["medium"].n_individuals
+                < SCALE_PRESETS["large"].n_individuals)
+
+    def test_invalid_preset(self):
+        with pytest.raises(ValueError):
+            ScalePreset(name="bad", n_individuals=0, n_snps=10,
+                        coalescent_individuals=10, coalescent_snps=10, tile_size=8)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(True) == "True"
+        assert format_value(0.000123) == "1.230e-04"
+        assert format_value(1.23456, precision=3) == "1.23"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestHeatmapExperiment:
+    @pytest.fixture(scope="class")
+    def heatmaps(self):
+        from repro.experiments.heatmap import run_precision_heatmaps
+
+        return run_precision_heatmaps(scale="tiny", seed=42)
+
+    def test_fig4a_a100_fp16_offdiagonal(self, heatmaps):
+        exp = heatmaps["A100"]
+        assert exp.low_precision is Precision.FP16
+        assert exp.offdiagonal_low_fraction > 0.9
+        assert exp.diagonal_working_fraction == 1.0
+
+    def test_fig4b_gh200_fp8_offdiagonal(self, heatmaps):
+        exp = heatmaps["GH200"]
+        assert exp.low_precision is Precision.FP8_E4M3
+        assert exp.offdiagonal_low_fraction > 0.9
+        assert exp.diagonal_working_fraction == 1.0
+
+    def test_footprint_reduction(self, heatmaps):
+        # FP16 mosaic halves the FP32 footprint; FP8 goes further
+        assert heatmaps["A100"].footprint_reduction > 1.3
+        assert heatmaps["GH200"].footprint_reduction > heatmaps["A100"].footprint_reduction
+
+
+class TestMSPEExperiments:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.mspe_sweep import run_mspe_sweep
+
+        return run_mspe_sweep(scale="tiny", seed=42)
+
+    def test_fig5_configurations_present(self, sweep):
+        labels = sweep.configurations
+        assert "100(FP32)" in labels
+        assert "10(FP32):90(FP16)" in labels
+        assert "Adaptive RR FP32/FP16" in labels
+        assert "Adaptive KRR FP32/FP16" in labels
+
+    def test_fig5_band_fp16_matches_fp32(self, sweep):
+        for disease, values in sweep.mspe.items():
+            ref = values["100(FP32)"]
+            for frac in (80, 60, 40, 20):
+                assert values[f"{frac}(FP32):{100 - frac}(FP16)"] == pytest.approx(
+                    ref, rel=0.02)
+
+    def test_fig5_adaptive_rr_matches_fp32(self, sweep):
+        for values in sweep.mspe.values():
+            assert values["Adaptive RR FP32/FP16"] == pytest.approx(
+                values["100(FP32)"], rel=0.02)
+
+    def test_fig5_krr_beats_every_rr_config(self, sweep):
+        for values in sweep.mspe.values():
+            krr = values["Adaptive KRR FP32/FP16"]
+            rr_best = min(v for k, v in values.items() if "KRR" not in k)
+            assert krr < rr_best
+
+    def test_rows_formatting(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == len(sweep.mspe)
+        assert "phenotype" in rows[0]
+
+    def test_fig6_fp8_between_fp16_krr_and_rr(self):
+        from repro.experiments.mspe_sweep import run_mspe_fp8
+
+        result = run_mspe_fp8(scale="tiny", seed=7)
+        for idx in range(len(result.sizes)):
+            rr = result.mspe["RR FP32/FP16"][idx]
+            krr16 = result.mspe["KRR FP32/FP16"][idx]
+            krr8 = result.mspe["KRR FP32/FP8"][idx]
+            assert krr16 < rr            # KRR better than RR
+            assert krr8 <= rr * 1.05     # FP8 KRR still at least as good as RR
+
+
+class TestPearsonTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.experiments.pearson import run_pearson_table
+
+        return run_pearson_table(scale="small", seed=42)
+
+    def test_table1_krr_beats_rr_on_average(self, table):
+        diseases = [k for k in table.rr_fp16 if k != "Synthetic [msprime]"]
+        rr_mean = np.mean([table.rr_fp16[d] for d in diseases])
+        krr_mean = np.mean([table.krr_fp16[d] for d in diseases])
+        assert krr_mean > rr_mean + 0.1
+
+    def test_table1_synthetic_row_has_fp8(self, table):
+        name = "Synthetic [msprime]"
+        assert table.krr_fp8[name] is not None
+        assert table.krr_fp16[name] > table.rr_fp16[name]
+
+    def test_table1_ukb_rows_have_no_fp8(self, table):
+        diseases = [k for k in table.rr_fp16 if k != "Synthetic [msprime]"]
+        assert all(table.krr_fp8[d] is None for d in diseases)
+
+    def test_rows_render(self, table):
+        rows = table.rows()
+        assert any(r["KRR-FP8"] == "N/A" for r in rows)
+        assert len(rows) == len(table.rr_fp16)
+
+
+class TestPerfFigures:
+    def test_fig07_series(self):
+        from repro.experiments.perf_figures import run_fig07_build_scaling
+
+        series = run_fig07_build_scaling()
+        assert series.x == [256, 512, 1024, 2048, 4096]
+        assert series.y == sorted(series.y)
+        assert 10 <= series.meta["speedup"] <= 16
+
+    def test_fig08_to_10_each_system(self):
+        from repro.experiments.perf_figures import run_fig08_to_10_associate
+
+        for system, expected_mixes in [("Summit", 3), ("Leonardo", 2), ("Alps", 3)]:
+            series = run_fig08_to_10_associate(system=system)
+            assert len(series) == expected_mixes
+            for s in series.values():
+                assert len(s.x) == len(s.y) > 0
+
+    def test_fig10_fp8_fastest_on_alps(self):
+        from repro.experiments.perf_figures import run_fig08_to_10_associate
+
+        series = run_fig08_to_10_associate(system="Alps")
+        fp8 = series["FP32/FP8_E4M3"].y[-1]
+        fp16 = series["FP32/FP16"].y[-1]
+        fp32 = series["FP32"].y[-1]
+        assert fp8 > fp16 > fp32
+
+    def test_fig11_12_efficiencies(self):
+        from repro.experiments.perf_figures import run_fig11_12_efficiency
+
+        result = run_fig11_12_efficiency(system="Alps")
+        assert set(result) == {"weak", "strong"}
+        for label, series in result["weak"].items():
+            assert min(series.y) > 0.7
+        strong_final = {label: s.y[-1] for label, s in result["strong"].items()}
+        assert strong_final["FP32"] >= strong_final["FP32/FP16"]
+
+    def test_fig13_throughput_grows_with_snp_ratio(self):
+        from repro.experiments.perf_figures import run_fig13_krr_weak_scaling
+
+        series = run_fig13_krr_weak_scaling(gpu_counts=[256, 1024, 4096])
+        finals = [series[r].y[-1] for r in (1, 2, 3, 4, 5)]
+        assert finals == sorted(finals)
+
+    def test_fig14_breakdown_structure(self):
+        from repro.experiments.perf_figures import run_fig14_breakdown
+
+        breakdown = run_fig14_breakdown(node_counts=(1024, 1936))
+        assert set(breakdown) == {1024, 1936}
+        for rows in breakdown.values():
+            for row in rows:
+                assert row["build_pflops"] > row["associate_pflops"]
+                assert row["krr_pflops"] <= row["build_pflops"]
+
+    def test_fig14e_headline_numbers(self):
+        from repro.experiments.perf_figures import run_fig14e_systems
+
+        result = run_fig14e_systems()
+        assert result["alps_krr_exaops"] > 1.0
+        assert 4.5 <= result["regenie_orders_of_magnitude"] <= 6.5
+        assert len(result["systems"]) == 4

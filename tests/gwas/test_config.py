@@ -1,0 +1,114 @@
+"""Tests for precision plans and solver configurations."""
+
+import numpy as np
+import pytest
+
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.precision.formats import Precision
+from repro.tiles.layout import TileLayout
+
+
+class TestPrecisionPlan:
+    def test_fp32_uniform(self):
+        plan = PrecisionPlan.fp32()
+        assert plan.mode == "uniform"
+        assert plan.label() == "100(FP32)"
+        layout = TileLayout.square(40, 10)
+        pmap = plan.precision_map(layout)
+        assert all(p is Precision.FP32 for p in pmap.values())
+
+    def test_fp64_uniform(self):
+        assert PrecisionPlan.fp64().working_precision is Precision.FP64
+
+    def test_band_plan_label_and_map(self):
+        plan = PrecisionPlan.band(0.8)
+        assert plan.label() == "80(FP32):20(FP16)"
+        layout = TileLayout.square(100, 10)
+        pmap = plan.precision_map(layout)
+        assert pmap[(0, 0)] is Precision.FP32
+        assert pmap[(9, 0)] is Precision.FP16
+
+    def test_adaptive_requires_matrix(self):
+        plan = PrecisionPlan.adaptive_fp16()
+        with pytest.raises(ValueError):
+            plan.precision_map(TileLayout.square(20, 10))
+
+    def test_adaptive_map_from_matrix(self):
+        plan = PrecisionPlan.adaptive_fp16()
+        rng = np.random.default_rng(0)
+        a = 1e-4 * rng.normal(size=(40, 40))
+        a = a + a.T + np.diag(2.0 + rng.random(40))
+        pmap = plan.precision_map(TileLayout.square(40, 10), matrix=a)
+        assert pmap[(0, 0)] is Precision.FP32
+        assert pmap[(1, 0)] is Precision.FP16
+
+    def test_adaptive_fp8_floor(self):
+        plan = PrecisionPlan.adaptive_fp8()
+        assert plan.low_precision is Precision.FP8_E4M3
+        assert "FP8" in plan.label().upper()
+
+    def test_adaptive_for_gpu(self):
+        assert PrecisionPlan.adaptive("GH200").low_precision is Precision.FP8_E4M3
+        assert PrecisionPlan.adaptive("A100").low_precision is Precision.FP16
+
+    def test_adaptive_rule_candidates(self):
+        rule = PrecisionPlan.adaptive_fp8().adaptive_rule()
+        assert Precision.FP8_E4M3 in rule.candidates
+        rule16 = PrecisionPlan.adaptive_fp16().adaptive_rule()
+        assert Precision.FP8_E4M3 not in rule16.candidates
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PrecisionPlan(mode="magic")
+
+    def test_invalid_band_fraction(self):
+        with pytest.raises(ValueError):
+            PrecisionPlan(mode="band", band_high_fraction=2.0)
+
+    def test_string_precisions_coerced(self):
+        plan = PrecisionPlan(mode="uniform", working_precision="fp64",
+                             low_precision="fp8")
+        assert plan.working_precision is Precision.FP64
+        assert plan.low_precision is Precision.FP8_E4M3
+
+
+class TestRRConfig:
+    def test_defaults(self):
+        cfg = RRConfig()
+        assert cfg.regularization == 1.0
+        assert cfg.snp_precision is Precision.INT8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RRConfig(regularization=-1.0)
+        with pytest.raises(ValueError):
+            RRConfig(tile_size=0)
+
+
+class TestKRRConfig:
+    def test_defaults(self):
+        cfg = KRRConfig()
+        assert cfg.kernel_type == "gaussian"
+        assert cfg.precision_plan.mode == "adaptive"
+
+    def test_effective_gamma_normalization(self):
+        cfg = KRRConfig(gamma=0.01, normalize_gamma=True)
+        anchored = cfg.effective_gamma(int(KRRConfig.GAMMA_REFERENCE_SNPS))
+        assert anchored == pytest.approx(0.01)
+        # more SNPs -> smaller effective gamma (distances grow with NS)
+        assert cfg.effective_gamma(400) < anchored
+        assert cfg.effective_gamma(100) > anchored
+
+    def test_effective_gamma_raw(self):
+        cfg = KRRConfig(gamma=0.02, normalize_gamma=False)
+        assert cfg.effective_gamma(10_000) == 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KRRConfig(gamma=-0.1)
+        with pytest.raises(ValueError):
+            KRRConfig(alpha=-1.0)
+        with pytest.raises(ValueError):
+            KRRConfig(kernel_type="linear")
+        with pytest.raises(ValueError):
+            KRRConfig(tile_size=-2)

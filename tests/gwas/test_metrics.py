@@ -1,0 +1,114 @@
+"""Tests for MSPE, Pearson correlation, and the accuracy report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gwas.metrics import (
+    accuracy_report,
+    mean_squared_prediction_error,
+    mspe,
+    pearson_correlation,
+    r_squared,
+)
+
+
+class TestMSPE:
+    def test_perfect_prediction(self):
+        y = np.arange(5.0)
+        assert mspe(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mspe(np.array([0.0, 0.0]), np.array([1.0, 3.0])) == pytest.approx(5.0)
+
+    def test_alias(self):
+        assert mspe is mean_squared_prediction_error
+
+    def test_2d_average_over_entries(self):
+        y = np.zeros((3, 2))
+        yhat = np.ones((3, 2))
+        assert mspe(y, yhat) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mspe(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mspe(np.array([]), np.array([]))
+
+
+class TestPearson:
+    def test_perfect_correlation(self, rng):
+        y = rng.normal(size=100)
+        assert pearson_correlation(y, 2 * y + 3) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self, rng):
+        y = rng.normal(size=100)
+        assert pearson_correlation(y, -y) == pytest.approx(-1.0)
+
+    def test_matches_numpy_corrcoef(self, rng):
+        y = rng.normal(size=200)
+        yhat = 0.5 * y + rng.normal(size=200)
+        expected = np.corrcoef(y, yhat)[0, 1]
+        assert pearson_correlation(y, yhat) == pytest.approx(expected, rel=1e-10)
+
+    def test_constant_prediction_returns_zero(self, rng):
+        y = rng.normal(size=50)
+        assert pearson_correlation(y, np.full(50, 2.0)) == 0.0
+
+    def test_bounded(self, rng):
+        y = rng.normal(size=300)
+        yhat = rng.normal(size=300)
+        assert -1.0 <= pearson_correlation(y, yhat) <= 1.0
+
+
+class TestR2AndReport:
+    def test_r_squared_perfect(self, rng):
+        y = rng.normal(size=60)
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_r_squared_mean_prediction_zero(self, rng):
+        y = rng.normal(size=60)
+        assert r_squared(y, np.full(60, y.mean())) == pytest.approx(0.0, abs=1e-10)
+
+    def test_report_per_phenotype(self, rng):
+        y = rng.normal(size=(80, 2))
+        yhat = y + 0.1 * rng.normal(size=(80, 2))
+        report = accuracy_report(y, yhat, ["a", "b"])
+        assert set(report.keys()) == {"a", "b"}
+        assert set(report["a"].keys()) == {"mspe", "pearson", "r2"}
+        assert report["a"]["pearson"] > 0.9
+
+    def test_report_1d(self, rng):
+        y = rng.normal(size=50)
+        report = accuracy_report(y, y)
+        assert "phenotype_0" in report
+
+    def test_report_name_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            accuracy_report(rng.normal(size=(10, 2)), rng.normal(size=(10, 2)), ["x"])
+
+
+class TestMetricProperties:
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=60),
+           st.floats(0.1, 5.0), st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_pearson_invariant_to_affine_transform(self, values, scale, shift):
+        y = np.array(values)
+        # degenerate inputs (no variance, or variance below float64
+        # resolution relative to the shift) are out of scope
+        if y.std() < 1e-6:
+            return
+        yhat = np.linspace(0, 1, len(y))
+        base = pearson_correlation(y, yhat)
+        transformed = pearson_correlation(y * scale + shift, yhat)
+        assert transformed == pytest.approx(base, abs=1e-8)
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_mspe_non_negative(self, values):
+        y = np.array(values)
+        yhat = np.zeros_like(y)
+        assert mspe(y, yhat) >= 0.0

@@ -1,0 +1,156 @@
+"""Tests for the tiled mixed-precision Cholesky factorization."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.cholesky import cholesky, cholesky_flops
+from repro.precision.formats import Precision
+from repro.runtime.runtime import Runtime
+from repro.tiles.layout import TileLayout
+from repro.tiles.matrix import TileMatrix
+from repro.tiles.band import band_precision_map
+
+
+def _spd(n, seed=0, diag=None):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = a @ a.T / n
+    a += (diag if diag is not None else 2.0) * np.eye(n)
+    return a
+
+
+class TestCorrectness:
+    def test_fp64_matches_numpy(self):
+        a = _spd(64)
+        result = cholesky(a, tile_size=16, working_precision=Precision.FP64)
+        np.testing.assert_allclose(result.to_dense(), np.linalg.cholesky(a),
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_fp32_reconstruction(self):
+        a = _spd(60)
+        result = cholesky(a, tile_size=16, working_precision=Precision.FP32)
+        l = result.to_dense()
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-4, atol=1e-4)
+
+    def test_uneven_tiles(self):
+        a = _spd(50)
+        result = cholesky(a, tile_size=16, working_precision=Precision.FP64)
+        np.testing.assert_allclose(result.to_dense(), np.linalg.cholesky(a),
+                                   rtol=1e-9, atol=1e-9)
+
+    def test_single_tile(self):
+        a = _spd(12)
+        result = cholesky(a, tile_size=16, working_precision=Precision.FP64)
+        np.testing.assert_allclose(result.to_dense(), np.linalg.cholesky(a),
+                                   rtol=1e-10)
+
+    def test_factor_is_lower_triangular(self):
+        a = _spd(48)
+        result = cholesky(a, tile_size=16)
+        l = result.to_dense()
+        assert np.allclose(l, np.tril(l))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            cholesky(np.zeros((4, 6)), tile_size=2)
+
+    def test_dense_without_tile_size_raises(self):
+        with pytest.raises(ValueError):
+            cholesky(_spd(8))
+
+    def test_not_positive_definite_raises(self):
+        a = -np.eye(16)
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky(a, tile_size=8)
+
+
+class TestMixedPrecision:
+    def test_fp16_offdiag_still_accurate(self):
+        a = _spd(64, diag=4.0)
+        layout = TileLayout.square(64, 16)
+        pmap = band_precision_map(layout, 0.0, high=Precision.FP32,
+                                  low=Precision.FP16)
+        result = cholesky(a, tile_size=16, working_precision=Precision.FP32,
+                          precision_map=pmap)
+        l = result.to_dense()
+        rel = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert rel < 5e-3
+
+    def test_lower_precision_increases_error_monotonically(self):
+        a = _spd(64, diag=4.0)
+        errors = {}
+        for low in (Precision.FP32, Precision.FP16, Precision.FP8_E4M3):
+            layout = TileLayout.square(64, 16)
+            pmap = {t: (Precision.FP32 if t[0] == t[1] else low)
+                    for t in layout.iter_tiles()}
+            result = cholesky(a, tile_size=16, working_precision=Precision.FP32,
+                              precision_map=pmap)
+            l = result.to_dense()
+            errors[low] = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert errors[Precision.FP32] <= errors[Precision.FP16] <= \
+            errors[Precision.FP8_E4M3]
+
+    def test_flops_by_precision_partition(self):
+        a = _spd(80, diag=4.0)
+        layout = TileLayout.square(80, 16)
+        pmap = {t: (Precision.FP32 if t[0] == t[1] else Precision.FP16)
+                for t in layout.iter_tiles()}
+        result = cholesky(a, tile_size=16, precision_map=pmap)
+        assert result.flops == pytest.approx(sum(result.flops_by_precision.values()))
+        # GEMM (FP16) dominates for a 5x5 tile grid
+        assert result.flops_by_precision[Precision.FP16] > 0
+
+    def test_task_counts(self):
+        a = _spd(64)
+        result = cholesky(a, tile_size=16)
+        nt = 4
+        assert result.task_counts["potrf"] == nt
+        assert result.task_counts["trsm"] == nt * (nt - 1) // 2
+        assert result.task_counts["syrk"] == nt * (nt - 1) // 2
+        assert result.task_counts["gemm"] == nt * (nt - 1) * (nt - 2) // 6
+
+    def test_tile_matrix_input_with_mosaic(self):
+        a = _spd(48, diag=4.0)
+        tm = TileMatrix.from_dense(
+            a, 16, precision=lambda i, j: Precision.FP32 if i == j else Precision.FP16)
+        result = cholesky(tm, working_precision=Precision.FP32)
+        l = result.to_dense()
+        rel = np.linalg.norm(l @ l.T - a) / np.linalg.norm(a)
+        assert rel < 5e-3
+
+
+class TestRuntimePath:
+    def test_runtime_matches_direct(self):
+        a = _spd(48)
+        direct = cholesky(a, tile_size=16, working_precision=Precision.FP32)
+        runtime = Runtime(num_devices=3)
+        via_runtime = cholesky(a, tile_size=16, working_precision=Precision.FP32,
+                               runtime=runtime)
+        np.testing.assert_allclose(via_runtime.to_dense(), direct.to_dense(),
+                                   rtol=1e-6, atol=1e-6)
+
+    def test_runtime_schedule_attached(self):
+        a = _spd(32)
+        runtime = Runtime(num_devices=2)
+        result = cholesky(a, tile_size=16, runtime=runtime)
+        assert result.schedule is not None
+        assert result.schedule.trace.num_tasks == runtime.graph.num_tasks
+        assert runtime.graph.is_acyclic()
+
+    def test_runtime_task_count_matches_tile_algorithm(self):
+        a = _spd(64)
+        runtime = Runtime(num_devices=2)
+        cholesky(a, tile_size=16, runtime=runtime)
+        counts = runtime.graph.task_counts_by_name()
+        assert counts["potrf"] == 4
+        assert counts["gemm"] == 4
+
+
+class TestFlopsFormula:
+    def test_cholesky_flops_cubic(self):
+        assert cholesky_flops(1000) == pytest.approx(1000 ** 3 / 3, rel=0.01)
+
+    def test_accumulated_flops_close_to_formula(self):
+        a = _spd(96)
+        result = cholesky(a, tile_size=16)
+        assert result.flops == pytest.approx(cholesky_flops(96), rel=0.25)

@@ -1,0 +1,61 @@
+"""Tests for the mixed-precision iterative refinement solver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.refinement import iterative_refinement_solve
+from repro.precision.formats import Precision
+
+
+def _spd(n, cond=100.0, seed=0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigenvalues = np.logspace(0, np.log10(cond), n)
+    return (q * eigenvalues) @ q.T
+
+
+class TestIterativeRefinement:
+    def test_recovers_full_accuracy_from_fp16_factorization(self):
+        a = _spd(40)
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(40)
+        b = a @ x_true
+        result = iterative_refinement_solve(a, b, factor_precision=Precision.FP16,
+                                            solution_precision=Precision.FP64,
+                                            tol=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-5, atol=1e-8)
+
+    def test_residual_decreases(self):
+        a = _spd(30, cond=1000.0, seed=2)
+        b = np.ones(30)
+        result = iterative_refinement_solve(a, b, factor_precision=Precision.FP16)
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_fp8_factorization_converges_with_more_iterations(self):
+        a = _spd(30, cond=30.0, seed=3)
+        b = np.ones(30)
+        fp16 = iterative_refinement_solve(a, b, factor_precision=Precision.FP16)
+        fp8 = iterative_refinement_solve(a, b, factor_precision=Precision.FP8_E4M3)
+        assert fp8.converged
+        assert fp8.iterations >= fp16.iterations
+
+    def test_matrix_rhs(self):
+        a = _spd(25, seed=4)
+        b = np.random.default_rng(4).standard_normal((25, 3))
+        result = iterative_refinement_solve(a, b)
+        assert result.x.shape == (25, 3)
+        np.testing.assert_allclose(a @ result.x, b, rtol=1e-4, atol=1e-4)
+
+    def test_max_iterations_respected(self):
+        a = _spd(20, cond=1e8, seed=5)
+        b = np.ones(20)
+        result = iterative_refinement_solve(a, b, factor_precision=Precision.FP8_E4M3,
+                                            max_iterations=3, tol=1e-14)
+        assert result.iterations <= 3
+
+    def test_vector_shape_preserved(self):
+        a = _spd(15, seed=6)
+        result = iterative_refinement_solve(a, np.ones(15))
+        assert result.x.shape == (15,)
+        assert isinstance(result.final_residual, float)

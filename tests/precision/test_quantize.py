@@ -1,0 +1,142 @@
+"""Tests for generic quantization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.formats import Precision
+from repro.precision.quantize import (
+    Int8Quantization,
+    dequantize_int8,
+    quantization_error,
+    quantize,
+    quantize_int8,
+    storage_bytes,
+)
+
+
+class TestQuantize:
+    def test_fp64_passthrough(self):
+        x = np.random.default_rng(0).normal(size=20)
+        out = quantize(x, Precision.FP64)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, x)
+
+    def test_fp32_cast(self):
+        x = np.array([1.0 + 1e-10])
+        out = quantize(x, Precision.FP32)
+        assert out.dtype == np.float32
+        assert float(out[0]) != 1.0 + 1e-10  # precision lost
+
+    def test_fp16_cast_and_clip(self):
+        out = quantize(np.array([1e6, -1e6, 1.0]), Precision.FP16)
+        assert out.dtype == np.float16
+        assert float(out[0]) == pytest.approx(65504.0)
+        assert float(out[1]) == pytest.approx(-65504.0)
+
+    def test_bf16_grid(self):
+        out = quantize(np.array([1.0, 3.14159]), Precision.BF16)
+        assert out.dtype == np.float32
+        assert float(out[0]) == 1.0
+        # bf16 has ~3 significant decimal digits
+        assert abs(float(out[1]) - 3.14159) < 0.02
+
+    def test_fp8_dispatch(self):
+        out = quantize(np.array([1000.0]), Precision.FP8_E4M3)
+        assert float(out[0]) == 448.0
+
+    def test_int8(self):
+        out = quantize(np.array([1.4, 2.6, 200.0, -200.0]), Precision.INT8)
+        assert out.dtype == np.int8
+        np.testing.assert_array_equal(out, [1, 3, 127, -128])
+
+    def test_int32(self):
+        out = quantize(np.array([1.5e10, -1.5e10, 5.0]), Precision.INT32)
+        assert out.dtype == np.int32
+        assert out[0] == np.iinfo(np.int32).max
+        assert out[1] == np.iinfo(np.int32).min
+
+    def test_accepts_string_precision(self):
+        out = quantize(np.ones(3), "fp16")
+        assert out.dtype == np.float16
+
+    def test_quantization_error_zero_for_exact(self):
+        x = np.array([[0.0, 1.0], [2.0, 0.5]])
+        assert quantization_error(x, Precision.FP16) == 0.0
+
+    def test_quantization_error_increases_with_narrower_formats(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(30, 30))
+        errs = [quantization_error(x, p)
+                for p in (Precision.FP32, Precision.FP16, Precision.FP8_E4M3)]
+        assert errs[0] < errs[1] < errs[2]
+
+
+class TestInt8Quantization:
+    def test_genotypes_are_exact(self):
+        g = np.array([0, 1, 2, 2, 0], dtype=np.int8)
+        q = quantize_int8(g, scale=1.0)
+        np.testing.assert_array_equal(q.q, g)
+        np.testing.assert_array_equal(q.dequantize(), g.astype(np.float32))
+
+    def test_auto_scale_uses_max_abs(self):
+        x = np.array([-2.0, 0.0, 4.0])
+        q = quantize_int8(x)
+        assert q.scale == pytest.approx(4.0 / 127.0)
+        assert q.q.max() == 127
+
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=100)
+        q = quantize_int8(x)
+        err = np.max(np.abs(dequantize_int8(q) - x))
+        assert err <= q.scale / 2 + 1e-7
+
+    def test_all_zero_input(self):
+        q = quantize_int8(np.zeros(5))
+        assert q.scale == 1.0
+        np.testing.assert_array_equal(q.q, 0)
+
+    def test_dataclass_fields(self):
+        q = quantize_int8(np.array([1.0]))
+        assert isinstance(q, Int8Quantization)
+        assert q.q.dtype == np.int8
+
+
+class TestStorageBytes:
+    @pytest.mark.parametrize("precision, expected", [
+        (Precision.FP64, 800), (Precision.FP32, 400),
+        (Precision.FP16, 200), (Precision.FP8_E4M3, 100), (Precision.INT8, 100),
+    ])
+    def test_matrix_footprint(self, precision, expected):
+        assert storage_bytes((10, 10), precision) == expected
+
+    def test_empty_shape(self):
+        assert storage_bytes((), Precision.FP32) == 4  # scalar
+
+    def test_accepts_string(self):
+        assert storage_bytes((4,), "fp16") == 8
+
+
+class TestQuantizeProperties:
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=40),
+           st.sampled_from(["fp32", "fp16", "bf16", "fp8"]))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence(self, values, precision):
+        x = np.array(values)
+        once = np.asarray(quantize(x, precision), dtype=np.float64)
+        twice = np.asarray(quantize(once, precision), dtype=np.float64)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=2, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_wider_format_never_less_accurate(self, values):
+        x = np.array(values)
+        err16 = quantization_error(x, Precision.FP16)
+        err8 = quantization_error(x, Precision.FP8_E4M3)
+        assert err16 <= err8 + 1e-12

@@ -1,0 +1,164 @@
+"""Tests for the list scheduler, devices, traces, and the Runtime facade."""
+
+import numpy as np
+import pytest
+
+from repro.precision.formats import Precision
+from repro.runtime.device import Device, DeviceModel, GENERIC_GPU, make_devices
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import AccessMode
+
+
+class TestDeviceModel:
+    def test_throughput_fallbacks(self):
+        assert GENERIC_GPU.throughput_for(Precision.FP16) == \
+            GENERIC_GPU.throughput[Precision.FP16]
+        # BF16 falls back to FP16, INT32 to INT8, E5M2 to E4M3
+        assert GENERIC_GPU.throughput_for(Precision.BF16) == \
+            GENERIC_GPU.throughput[Precision.FP16]
+        assert GENERIC_GPU.throughput_for(Precision.INT32) == \
+            GENERIC_GPU.throughput[Precision.INT8]
+
+    def test_task_time(self):
+        model = DeviceModel("d", {Precision.FP32: 1e12})
+        assert model.task_time(1e12, Precision.FP32) == pytest.approx(1.0)
+
+    def test_transfer_time_includes_latency(self):
+        model = DeviceModel("d", {Precision.FP32: 1e12}, link_bandwidth=1e9,
+                            link_latency=1e-5)
+        assert model.transfer_time(0) == 0.0
+        assert model.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_make_devices(self):
+        devices = make_devices(3)
+        assert len(devices) == 3
+        assert [d.index for d in devices] == [0, 1, 2]
+        with pytest.raises(ValueError):
+            make_devices(0)
+
+    def test_device_utilization(self):
+        d = Device(index=0)
+        d.busy_time = 2.0
+        assert d.utilization(4.0) == 0.5
+        assert d.utilization(0.0) == 0.0
+
+
+class TestRuntimeExecution:
+    def test_correct_execution_order_and_results(self):
+        rt = Runtime(num_devices=2)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        b = rt.register_data("b", payload=np.array([0.0]))
+        rt.insert_task("double", (a, AccessMode.READWRITE), body=lambda x: x * 2,
+                       flops=10)
+        rt.insert_task("copy", (a, AccessMode.READ), (b, AccessMode.WRITE),
+                       body=lambda x, y: x + 1, flops=10)
+        result = rt.run()
+        np.testing.assert_array_equal(a.payload, [2.0])
+        np.testing.assert_array_equal(b.payload, [3.0])
+        assert result.trace.num_tasks == 2
+
+    def test_all_tasks_executed_in_dependency_order(self):
+        rt = Runtime(num_devices=4)
+        handles = [rt.register_data(f"x{i}", payload=i) for i in range(6)]
+        order = []
+
+        def make_body(idx):
+            def body(*args):
+                order.append(idx)
+            return body
+
+        # chain: each task reads the previous handle and writes the next
+        for i in range(5):
+            rt.insert_task(f"t{i}", (handles[i], AccessMode.READ),
+                           (handles[i + 1], AccessMode.WRITE),
+                           body=make_body(i), flops=1.0)
+        rt.run()
+        assert order == sorted(order)
+
+    def test_duplicate_data_name_raises(self):
+        rt = Runtime()
+        rt.register_data("a")
+        with pytest.raises(ValueError):
+            rt.register_data("a")
+
+    def test_makespan_respects_critical_path(self):
+        model = DeviceModel("slow", {Precision.FP32: 1e9})
+        rt = Runtime(num_devices=8, device_model=model)
+        a = rt.register_data("a", payload=1.0, precision=Precision.FP32)
+        for _ in range(4):
+            rt.insert_task("step", (a, AccessMode.READWRITE), flops=1e9,
+                           precision=Precision.FP32)
+        result = rt.run()
+        # 4 dependent tasks of 1 s each cannot finish faster than 4 s
+        assert result.makespan >= 4.0
+
+    def test_parallel_tasks_use_multiple_devices(self):
+        model = DeviceModel("slow", {Precision.FP32: 1e9})
+        rt = Runtime(num_devices=4, device_model=model)
+        handles = [rt.register_data(f"h{i}", payload=1.0, shape=(1,),
+                                    home_device=i) for i in range(4)]
+        for h in handles:
+            rt.insert_task("work", (h, AccessMode.READWRITE), flops=1e9,
+                           precision=Precision.FP32)
+        result = rt.run()
+        devices_used = {e.device for e in result.trace.events}
+        assert len(devices_used) == 4
+        assert result.makespan == pytest.approx(1.0, rel=0.1)
+
+    def test_transfers_recorded_when_data_moves(self):
+        rt = Runtime(num_devices=2)
+        a = rt.register_data("a", payload=np.ones((16, 16)),
+                             precision=Precision.FP32, home_device=0)
+        b = rt.register_data("b", payload=np.zeros((16, 16)),
+                             precision=Precision.FP32, home_device=1)
+        rt.insert_task("use", (a, AccessMode.READ), (b, AccessMode.READWRITE),
+                       flops=1.0, precision=Precision.FP32)
+        result = rt.run()
+        assert result.comm.num_transfers >= 1
+        assert result.comm.total_bytes > 0
+
+    def test_priority_breaks_ties(self):
+        rt = Runtime(num_devices=1)
+        executed = []
+        a = rt.register_data("a", payload=0)
+        b = rt.register_data("b", payload=0)
+        rt.insert_task("low", (a, AccessMode.READWRITE),
+                       body=lambda x: executed.append("low"), priority=0)
+        rt.insert_task("high", (b, AccessMode.READWRITE),
+                       body=lambda x: executed.append("high"), priority=10)
+        rt.run()
+        assert executed[0] == "high"
+
+    def test_trace_summary_and_flops_by_precision(self):
+        rt = Runtime(num_devices=1)
+        a = rt.register_data("a", payload=1.0)
+        rt.insert_task("k16", (a, AccessMode.READWRITE), flops=100,
+                       precision=Precision.FP16)
+        rt.insert_task("k32", (a, AccessMode.READWRITE), flops=50,
+                       precision=Precision.FP32)
+        result = rt.run()
+        summary = result.summary()
+        assert summary["total_flops"] == 150
+        by_prec = result.trace.flops_by_precision()
+        assert by_prec[Precision.FP16] == 100
+        assert by_prec[Precision.FP32] == 50
+
+    def test_reset_graph_keeps_data(self):
+        rt = Runtime()
+        a = rt.register_data("a", payload=1.0)
+        rt.insert_task("t", (a, AccessMode.READWRITE), flops=1.0)
+        rt.run()
+        rt.reset_graph()
+        assert rt.num_tasks() == 0
+        assert rt.data("a") is a
+
+    def test_gantt_rows_sorted(self):
+        rt = Runtime(num_devices=2)
+        a = rt.register_data("a", payload=1.0)
+        for i in range(3):
+            rt.insert_task(f"t{i}", (a, AccessMode.READWRITE), flops=10.0)
+        result = rt.run()
+        rows = result.trace.gantt_rows()
+        for events in rows.values():
+            starts = [s for s, _, _ in events]
+            assert starts == sorted(starts)

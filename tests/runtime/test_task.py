@@ -1,0 +1,78 @@
+"""Tests for tasks and data handles."""
+
+import numpy as np
+import pytest
+
+from repro.precision.formats import Precision
+from repro.runtime.task import AccessMode, DataHandle, Task
+
+
+class TestAccessMode:
+    def test_read_flags(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+        assert AccessMode.READWRITE.reads and AccessMode.READWRITE.writes
+
+
+class TestDataHandle:
+    def test_nbytes_uses_precision(self):
+        h = DataHandle("A", shape=(8, 8), precision=Precision.FP16)
+        assert h.nbytes() == 128
+        assert h.nbytes(Precision.FP64) == 512
+
+    def test_unique_uids(self):
+        a = DataHandle("x")
+        b = DataHandle("x")
+        assert a.uid != b.uid
+        assert hash(a) != hash(b)
+
+    def test_scalar_handle(self):
+        h = DataHandle("s", shape=(), precision=Precision.FP32)
+        assert h.nbytes() == 4
+
+
+class TestTask:
+    def test_reads_and_writes(self):
+        a = DataHandle("A")
+        b = DataHandle("B")
+        t = Task("gemm", ((a, AccessMode.READ), (b, AccessMode.READWRITE)))
+        assert t.reads == (a, b)
+        assert t.writes == (b,)
+
+    def test_mode_coercion_from_string_value(self):
+        a = DataHandle("A")
+        t = Task("k", ((a, "RW"),))
+        assert t.accesses[0][1] is AccessMode.READWRITE
+
+    def test_execute_inplace_body(self):
+        a = DataHandle("A", payload=np.ones(3))
+        calls = []
+        t = Task("noop", ((a, AccessMode.READ),), body=lambda x: calls.append(x.sum()))
+        t.execute()
+        assert calls == [3.0]
+
+    def test_execute_returns_new_payload(self):
+        a = DataHandle("A", payload=np.ones(3))
+        b = DataHandle("B", payload=np.zeros(3))
+        t = Task("copy", ((a, AccessMode.READ), (b, AccessMode.WRITE)),
+                 body=lambda x, y: x * 2)
+        t.execute()
+        np.testing.assert_array_equal(b.payload, [2, 2, 2])
+        np.testing.assert_array_equal(a.payload, [1, 1, 1])
+
+    def test_execute_output_count_mismatch(self):
+        a = DataHandle("A", payload=1.0)
+        t = Task("bad", ((a, AccessMode.READ),), body=lambda x: (x, x))
+        with pytest.raises(RuntimeError, match="outputs"):
+            t.execute()
+
+    def test_no_body_is_noop(self):
+        t = Task("empty", ())
+        t.execute()  # must not raise
+
+    def test_byte_accounting(self):
+        a = DataHandle("A", shape=(4, 4), precision=Precision.FP32)
+        b = DataHandle("B", shape=(4, 4), precision=Precision.FP16)
+        t = Task("k", ((a, AccessMode.READ), (b, AccessMode.WRITE)))
+        assert t.bytes_read() == 64
+        assert t.bytes_written() == 32

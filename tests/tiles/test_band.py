@@ -1,0 +1,101 @@
+"""Tests for band ("rainbow") precision assignments."""
+
+import pytest
+
+from repro.precision.formats import Precision
+from repro.tiles.band import (
+    band_fraction_map,
+    band_map_as_grid,
+    band_precision_map,
+    rainbow_pattern,
+)
+from repro.tiles.layout import TileLayout
+
+
+@pytest.fixture
+def layout():
+    return TileLayout.square(100, 10)  # 10x10 tile grid
+
+
+class TestBandMap:
+    def test_full_fp32(self, layout):
+        pmap = band_precision_map(layout, 1.0)
+        assert all(p is Precision.FP32 for p in pmap.values())
+
+    def test_zero_fraction_keeps_only_diagonal_high(self, layout):
+        pmap = band_precision_map(layout, 0.0)
+        for (i, j), p in pmap.items():
+            if i == j:
+                assert p is Precision.FP32
+            else:
+                assert p is Precision.FP16
+
+    def test_half_fraction_splits_bands(self, layout):
+        pmap = band_precision_map(layout, 0.5)
+        # band distance <= round(0.5 * 9) = 4 stays FP32
+        assert pmap[(4, 0)] is Precision.FP32
+        assert pmap[(5, 0)] is Precision.FP16
+
+    def test_fraction_monotone(self, layout):
+        fractions = [band_fraction_map(band_precision_map(layout, f), layout)
+                     .get(Precision.FP32, 0.0) for f in (0.1, 0.4, 0.8)]
+        assert fractions[0] <= fractions[1] <= fractions[2]
+
+    def test_custom_precisions(self, layout):
+        pmap = band_precision_map(layout, 0.2, high="fp64", low="fp8",
+                                  diagonal="fp32")
+        assert pmap[(0, 0)] is Precision.FP32
+        assert pmap[(1, 0)] is Precision.FP64
+        assert pmap[(9, 0)] is Precision.FP8_E4M3
+
+    def test_covers_all_tiles(self, layout):
+        pmap = band_precision_map(layout, 0.3)
+        assert len(pmap) == layout.num_tiles
+
+    def test_symmetric_pattern(self, layout):
+        pmap = band_precision_map(layout, 0.4)
+        for i in range(10):
+            for j in range(10):
+                assert pmap[(i, j)] == pmap[(j, i)]
+
+    def test_invalid_fraction(self, layout):
+        with pytest.raises(ValueError):
+            band_precision_map(layout, 1.5)
+
+    def test_non_square_grid_raises(self):
+        with pytest.raises(ValueError):
+            band_precision_map(TileLayout(rows=20, cols=10, tile_size=5), 0.5)
+
+
+class TestFractionMap:
+    def test_excludes_diagonal(self, layout):
+        pmap = band_precision_map(layout, 0.0)
+        fractions = band_fraction_map(pmap, layout)
+        assert fractions[Precision.FP16] == pytest.approx(1.0)
+
+    def test_empty_map(self, layout):
+        assert band_fraction_map({}, layout) == {}
+
+
+class TestRainbow:
+    def test_levels_progress_outward(self, layout):
+        precisions = (Precision.FP32, Precision.FP16, Precision.FP8_E4M3)
+        pmap = rainbow_pattern(layout, precisions)
+        assert pmap[(0, 0)] is Precision.FP32
+        assert pmap[(9, 0)] is Precision.FP8_E4M3
+        # mid band gets the mid precision
+        assert pmap[(4, 0)] in precisions
+
+    def test_single_precision(self, layout):
+        pmap = rainbow_pattern(layout, (Precision.FP16,))
+        assert all(p is Precision.FP16 for p in pmap.values())
+
+    def test_empty_raises(self, layout):
+        with pytest.raises(ValueError):
+            rainbow_pattern(layout, ())
+
+    def test_grid_rendering(self, layout):
+        pmap = band_precision_map(layout, 0.5)
+        grid = band_map_as_grid(pmap, layout)
+        assert grid.shape == (10, 10)
+        assert grid[0, 0] is Precision.FP32

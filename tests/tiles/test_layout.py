@@ -1,0 +1,135 @@
+"""Tests for tile-grid geometry and block-cyclic distribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles.layout import BlockCyclicDistribution, TileLayout
+
+
+class TestTileLayout:
+    def test_even_division(self):
+        layout = TileLayout(rows=100, cols=60, tile_size=20)
+        assert layout.grid_shape == (5, 3)
+        assert layout.num_tiles == 15
+        assert layout.tile_shape(0, 0) == (20, 20)
+        assert layout.tile_shape(4, 2) == (20, 20)
+
+    def test_ragged_edges(self):
+        layout = TileLayout(rows=105, cols=50, tile_size=20)
+        assert layout.grid_shape == (6, 3)
+        assert layout.tile_shape(5, 0) == (5, 20)
+        assert layout.tile_shape(0, 2) == (20, 10)
+        assert layout.tile_shape(5, 2) == (5, 10)
+
+    def test_tile_slice(self):
+        layout = TileLayout(rows=10, cols=10, tile_size=4)
+        rs, cs = layout.tile_slice(2, 1)
+        assert (rs.start, rs.stop) == (8, 10)
+        assert (cs.start, cs.stop) == (4, 8)
+
+    def test_tile_of_index(self):
+        layout = TileLayout(rows=10, cols=10, tile_size=4)
+        assert layout.tile_of_index(0, 0) == (0, 0)
+        assert layout.tile_of_index(9, 9) == (2, 2)
+        assert layout.tile_of_index(4, 3) == (1, 0)
+
+    def test_tile_of_index_out_of_range(self):
+        layout = TileLayout(rows=10, cols=10, tile_size=4)
+        with pytest.raises(IndexError):
+            layout.tile_of_index(10, 0)
+
+    def test_iter_tiles_count_and_order(self):
+        layout = TileLayout(rows=9, cols=6, tile_size=3)
+        tiles = list(layout.iter_tiles())
+        assert len(tiles) == 6
+        assert tiles[0] == (0, 0)
+        assert tiles[-1] == (2, 1)
+
+    def test_iter_lower_tiles(self):
+        layout = TileLayout.square(12, 4)
+        lower = list(layout.iter_lower_tiles())
+        assert len(lower) == 6  # 3*4/2
+        assert all(i >= j for i, j in lower)
+        strict = list(layout.iter_lower_tiles(include_diagonal=False))
+        assert len(strict) == 3
+        assert all(i > j for i, j in strict)
+
+    def test_square_constructor(self):
+        layout = TileLayout.square(16, 4)
+        assert layout.rows == layout.cols == 16
+        assert layout.is_square_grid
+
+    def test_out_of_range_tile_raises(self):
+        layout = TileLayout(rows=8, cols=8, tile_size=4)
+        with pytest.raises(IndexError):
+            layout.tile_shape(2, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TileLayout(rows=-1, cols=4, tile_size=2)
+        with pytest.raises(ValueError):
+            TileLayout(rows=4, cols=4, tile_size=0)
+
+    def test_empty_matrix(self):
+        layout = TileLayout(rows=0, cols=0, tile_size=4)
+        assert layout.num_tiles == 0
+        assert list(layout.iter_tiles()) == []
+
+    @given(st.integers(1, 200), st.integers(1, 200), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_tile_shapes_cover_matrix(self, rows, cols, tile_size):
+        layout = TileLayout(rows=rows, cols=cols, tile_size=tile_size)
+        total = sum(layout.tile_shape(i, j)[0] * layout.tile_shape(i, j)[1]
+                    for i, j in layout.iter_tiles())
+        assert total == rows * cols
+
+
+class TestBlockCyclic:
+    def test_owner_deterministic(self):
+        dist = BlockCyclicDistribution(p=2, q=3)
+        assert dist.num_ranks == 6
+        assert dist.owner(0, 0) == 0
+        assert dist.owner(1, 0) == 3
+        assert dist.owner(0, 1) == 1
+        assert dist.owner(2, 3) == dist.owner(0, 0)  # cyclic wrap
+
+    def test_tiles_of_rank_partition(self):
+        layout = TileLayout.square(40, 5)
+        dist = BlockCyclicDistribution(p=2, q=2)
+        all_tiles = set()
+        for rank in range(dist.num_ranks):
+            tiles = dist.tiles_of_rank(rank, layout)
+            assert all_tiles.isdisjoint(tiles)
+            all_tiles.update(tiles)
+        assert all_tiles == set(layout.iter_tiles())
+
+    def test_load_balance(self):
+        layout = TileLayout.square(64, 8)
+        dist = BlockCyclicDistribution(p=2, q=4)
+        loads = dist.load_per_rank(layout)
+        assert sum(loads.values()) == layout.num_tiles
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_for_ranks_near_square(self):
+        dist = BlockCyclicDistribution.for_ranks(12)
+        assert dist.num_ranks == 12
+        assert abs(dist.p - dist.q) <= dist.q  # reasonably balanced
+
+    def test_for_ranks_prime(self):
+        dist = BlockCyclicDistribution.for_ranks(7)
+        assert dist.num_ranks == 7
+
+    def test_invalid_rank(self):
+        dist = BlockCyclicDistribution(p=2, q=2)
+        with pytest.raises(ValueError):
+            dist.tiles_of_rank(4, TileLayout.square(8, 4))
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            BlockCyclicDistribution(p=0, q=1)
+
+    def test_negative_tile_raises(self):
+        dist = BlockCyclicDistribution(p=2, q=2)
+        with pytest.raises(IndexError):
+            dist.owner(-1, 0)

@@ -1,0 +1,149 @@
+"""Tests for the tile-low-rank (TLR) extension."""
+
+import numpy as np
+import pytest
+
+from repro.precision.formats import Precision
+from repro.tiles.lowrank import (
+    LowRankTile,
+    TLRMatrix,
+    compress_tile,
+    compressible_rank,
+)
+
+
+def _smooth_kernel_matrix(n=96, length_scale=0.5, seed=0):
+    """A smooth (squared-exponential) kernel matrix: off-diagonal tiles are low-rank."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0, 1, size=n))
+    d = (x[:, None] - x[None, :]) ** 2
+    return np.exp(-d / (2 * length_scale ** 2)) + 1e-6 * np.eye(n)
+
+
+class TestLowRankTile:
+    def test_exact_reconstruction_of_true_lowrank_tile(self, rng):
+        u = rng.normal(size=(20, 3))
+        v = rng.normal(size=(16, 3))
+        tile = u @ v.T
+        lr = compress_tile(tile, tolerance=1e-12, precision=Precision.FP64)
+        assert lr.rank <= 4
+        np.testing.assert_allclose(lr.to_dense(), tile, atol=1e-10)
+
+    def test_rank_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            LowRankTile(u=rng.normal(size=(4, 2)), v=rng.normal(size=(4, 3)))
+
+    def test_footprint_smaller_than_dense(self, rng):
+        u = rng.normal(size=(64, 2))
+        tile = u @ u.T
+        lr = compress_tile(tile, tolerance=1e-10)
+        assert lr.nbytes() < 64 * 64 * 4
+        assert lr.compression_ratio() > 1.0
+
+    def test_factor_quantization(self, rng):
+        tile = rng.normal(size=(8, 8))
+        lr = compress_tile(tile, tolerance=0.0, precision=Precision.FP16)
+        assert lr.u.dtype == np.float16
+        assert lr.precision is Precision.FP16
+
+    def test_max_rank_cap(self, rng):
+        tile = rng.normal(size=(30, 30))  # full rank
+        lr = compress_tile(tile, tolerance=1e-12, max_rank=5)
+        assert lr.rank == 5
+
+
+class TestCompressibleRank:
+    def test_zero_matrix(self):
+        assert compressible_rank(np.zeros((5, 5)), 1e-3) == 0
+
+    def test_rank_one(self):
+        a = np.outer(np.arange(1, 6), np.ones(4))
+        assert compressible_rank(a, 1e-10) == 1
+
+    def test_full_rank_random(self, rng):
+        a = rng.normal(size=(12, 12))
+        assert compressible_rank(a, 1e-12) == 12
+
+    def test_tolerance_monotone(self, rng):
+        a = rng.normal(size=(20, 20))
+        assert compressible_rank(a, 0.5) <= compressible_rank(a, 1e-3)
+
+
+class TestTLRMatrix:
+    def test_accuracy_within_tolerance(self):
+        a = _smooth_kernel_matrix()
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-4)
+        # per-tile tolerance 1e-4 keeps the global error of the same order
+        assert tlr.relative_error(a) < 5e-4
+
+    def test_compression_on_smooth_kernel(self):
+        a = _smooth_kernel_matrix(length_scale=1.0)
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-3)
+        assert tlr.num_lowrank_tiles > 0
+        assert tlr.compression_ratio() > 1.2
+        assert tlr.max_offdiagonal_rank() < 24
+
+    def test_random_matrix_keeps_dense_tiles(self, rng):
+        a = rng.normal(size=(48, 48))
+        a = a + a.T
+        tlr = TLRMatrix(a, tile_size=16, tolerance=1e-10)
+        # nothing is compressible at that tolerance: factors would be larger
+        assert tlr.num_lowrank_tiles == 0
+        np.testing.assert_allclose(tlr.to_dense(), a, rtol=1e-5, atol=1e-4)
+
+    def test_diagonal_tiles_always_dense(self):
+        a = _smooth_kernel_matrix()
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-2)
+        for i in range(tlr.layout.tile_rows):
+            assert tlr.tile_rank(i, i) is None
+
+    def test_tile_rank_symmetric_lookup(self):
+        a = _smooth_kernel_matrix()
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-3)
+        assert tlr.tile_rank(0, 3) == tlr.tile_rank(3, 0)
+
+    def test_matvec_matches_dense(self, rng):
+        a = _smooth_kernel_matrix()
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-6)
+        x = rng.normal(size=a.shape[0])
+        np.testing.assert_allclose(tlr.matvec(x), a @ x, rtol=1e-4, atol=1e-5)
+
+    def test_matvec_matrix_rhs(self, rng):
+        a = _smooth_kernel_matrix()
+        tlr = TLRMatrix(a, tile_size=24, tolerance=1e-6)
+        x = rng.normal(size=(a.shape[0], 3))
+        assert tlr.matvec(x).shape == (a.shape[0], 3)
+
+    def test_fp16_factors_compose_with_lowrank(self):
+        a = _smooth_kernel_matrix(length_scale=1.0)
+        tlr32 = TLRMatrix(a, tile_size=24, tolerance=1e-3,
+                          factor_precision=Precision.FP32)
+        tlr16 = TLRMatrix(a, tile_size=24, tolerance=1e-3,
+                          factor_precision=Precision.FP16)
+        assert tlr16.nbytes() < tlr32.nbytes()
+        assert tlr16.relative_error(a) < 1e-2
+
+    def test_non_square_raises(self, rng):
+        with pytest.raises(ValueError):
+            TLRMatrix(rng.normal(size=(10, 12)), tile_size=4)
+
+    def test_gwas_kernel_matrix_compresses_at_loose_tolerance(self, small_genotypes):
+        """The KRR kernel's off-diagonal tiles compress at a loose tolerance.
+
+        At a tight tolerance the small (30x30) tiles are effectively
+        full-rank and the TLR format correctly falls back to dense
+        storage; at the looser tolerance the off-diagonal tiles become
+        low-rank and the footprint shrinks — the data-sparsity the
+        paper's outlook section proposes to exploit.
+        """
+        from repro.distance.build import build_kernel_matrix
+
+        k = build_kernel_matrix(small_genotypes, gamma=0.02, tile_size=30).to_dense()
+        tight = TLRMatrix(k, tile_size=30, tolerance=1e-3)
+        assert tight.num_lowrank_tiles == 0
+        assert tight.relative_error(k) < 1e-3
+
+        loose = TLRMatrix(k, tile_size=30, tolerance=0.05)
+        assert loose.num_lowrank_tiles > 0
+        assert loose.compression_ratio() > 1.2
+        assert loose.relative_error(k) < 0.08

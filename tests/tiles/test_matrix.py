@@ -1,0 +1,155 @@
+"""Tests for the TileMatrix container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.formats import Precision
+from repro.tiles.matrix import TileMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    return rng.normal(size=(50, 30))
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip_fp64(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        np.testing.assert_array_equal(tm.to_dense(), dense)
+        assert tm.shape == dense.shape
+        assert tm.grid_shape == (4, 2)
+
+    def test_roundtrip_fp16_quantizes(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16, precision=Precision.FP16)
+        back = tm.to_dense()
+        assert not np.array_equal(back, dense)
+        np.testing.assert_allclose(back, dense, rtol=2 ** -10)
+
+    def test_precision_callable(self, dense):
+        tm = TileMatrix.from_dense(
+            dense, tile_size=16,
+            precision=lambda i, j: Precision.FP32 if i == j else Precision.FP16,
+        )
+        assert tm.tile_precision(0, 0) is Precision.FP32
+        assert tm.tile_precision(1, 0) is Precision.FP16
+
+    def test_precision_mapping(self, dense):
+        pmap = {(i, j): Precision.FP64 for i in range(4) for j in range(2)}
+        pmap[(0, 1)] = Precision.FP8_E4M3
+        tm = TileMatrix.from_dense(dense, tile_size=16, precision=pmap)
+        assert tm.tile_precision(0, 1) is Precision.FP8_E4M3
+
+    def test_zeros(self):
+        tm = TileMatrix.zeros(10, 12, 4)
+        assert tm.to_dense().sum() == 0.0
+        assert tm.shape == (10, 12)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            TileMatrix.from_dense(np.zeros(5), tile_size=2)
+
+
+class TestSymmetricStorage:
+    def test_symmetric_roundtrip(self, rng):
+        a = rng.normal(size=(40, 40))
+        sym = a + a.T
+        tm = TileMatrix.from_dense(sym, tile_size=16, symmetric=True)
+        np.testing.assert_allclose(tm.to_dense(), sym)
+
+    def test_upper_reads_are_transposes(self, rng):
+        a = rng.normal(size=(20, 20))
+        sym = a + a.T
+        tm = TileMatrix.from_dense(sym, tile_size=8, symmetric=True)
+        upper = tm.get_tile(0, 1).to_float64()
+        lower = tm.get_tile(1, 0).to_float64()
+        np.testing.assert_array_equal(upper, lower.T)
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(ValueError):
+            TileMatrix.from_dense(np.zeros((4, 6)), tile_size=2, symmetric=True)
+
+    def test_set_upper_tile_mirrors(self, rng):
+        tm = TileMatrix.zeros(8, 8, 4, symmetric=True)
+        block = rng.normal(size=(4, 4))
+        tm.set_tile(0, 1, block)
+        np.testing.assert_allclose(tm.get_tile(1, 0).to_float64(), block.T)
+
+    def test_stored_tile_count_is_lower_triangle(self, rng):
+        a = rng.normal(size=(40, 40))
+        tm = TileMatrix.from_dense(a + a.T, tile_size=10, symmetric=True)
+        assert len(tm._tiles) == 10  # 4*5/2
+
+
+class TestTileAccess:
+    def test_set_tile_shape_check(self):
+        tm = TileMatrix.zeros(10, 10, 4)
+        with pytest.raises(ValueError, match="shape"):
+            tm.set_tile(0, 0, np.zeros((3, 3)))
+
+    def test_set_tile_with_precision(self):
+        tm = TileMatrix.zeros(8, 8, 4)
+        tm.set_tile(0, 0, np.ones((4, 4)), precision=Precision.FP8_E4M3)
+        assert tm.tile_precision(0, 0) is Precision.FP8_E4M3
+
+    def test_set_tile_precision(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        tm.set_tile_precision(0, 0, "fp16")
+        assert tm.tile_precision(0, 0) is Precision.FP16
+
+    def test_apply_precision_map(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        tm.apply_precision_map(Precision.FP16)
+        grid = tm.precision_grid()
+        assert all(grid[i, j] is Precision.FP16
+                   for i in range(4) for j in range(2))
+
+    def test_precision_grid_shape(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        assert tm.precision_grid().shape == tm.grid_shape
+
+
+class TestFootprint:
+    def test_nbytes_uniform(self):
+        tm = TileMatrix.from_dense(np.zeros((32, 32)), tile_size=16,
+                                   precision=Precision.FP32)
+        assert tm.nbytes() == 32 * 32 * 4
+
+    def test_mixed_precision_footprint_smaller(self, rng):
+        a = rng.normal(size=(64, 64))
+        fp32 = TileMatrix.from_dense(a, tile_size=16, precision=Precision.FP32)
+        mixed = TileMatrix.from_dense(
+            a, tile_size=16,
+            precision=lambda i, j: Precision.FP32 if i == j else Precision.FP8_E4M3)
+        assert mixed.nbytes() < fp32.nbytes()
+        by_prec = mixed.footprint_by_precision()
+        assert Precision.FP8_E4M3 in by_prec and Precision.FP32 in by_prec
+
+    def test_symmetric_footprint_half(self, rng):
+        a = rng.normal(size=(64, 64))
+        sym = TileMatrix.from_dense(a + a.T, tile_size=16, symmetric=True,
+                                    precision=Precision.FP32)
+        full = TileMatrix.from_dense(a + a.T, tile_size=16,
+                                     precision=Precision.FP32)
+        assert sym.nbytes() < full.nbytes()
+
+    def test_copy_independent(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        dup = tm.copy()
+        dup.set_tile(0, 0, np.zeros((16, 16)))
+        assert not np.allclose(tm.get_tile(0, 0).to_float64(), 0.0)
+
+    def test_norm_matches_dense(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)
+        assert tm.norm() == pytest.approx(np.linalg.norm(dense))
+
+
+class TestRoundtripProperty:
+    @given(st.integers(5, 40), st.integers(5, 40), st.integers(2, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_shape(self, rows, cols, tile_size):
+        rng = np.random.default_rng(rows * 1000 + cols * 10 + tile_size)
+        dense = rng.normal(size=(rows, cols))
+        tm = TileMatrix.from_dense(dense, tile_size=tile_size)
+        np.testing.assert_array_equal(tm.to_dense(), dense)

@@ -1,0 +1,66 @@
+"""Tests for the Tile storage object."""
+
+import numpy as np
+import pytest
+
+from repro.precision.formats import Precision
+from repro.tiles.tile import Tile
+
+
+class TestTile:
+    def test_payload_quantized_on_construction(self):
+        tile = Tile(np.array([[1.0 + 1e-8, 2.0]]), precision=Precision.FP16)
+        assert tile.data.dtype == np.float16
+        assert float(tile.data[0, 0]) == np.float16(1.0)
+
+    def test_fp8_tile_values_on_grid(self):
+        tile = Tile(np.array([1000.0, 0.3]), precision=Precision.FP8_E4M3)
+        assert float(tile.data[0]) == 448.0
+
+    def test_nbytes_reflects_precision(self):
+        data = np.ones((8, 8))
+        assert Tile(data, Precision.FP64).nbytes == 8 * 64
+        assert Tile(data, Precision.FP16).nbytes == 2 * 64
+        assert Tile(data, Precision.FP8_E4M3).nbytes == 64
+
+    def test_convert_roundtrip_loses_information(self):
+        rng = np.random.default_rng(0)
+        tile = Tile(rng.normal(size=(6, 6)), precision=Precision.FP64)
+        low = tile.convert(Precision.FP8_E4M3)
+        back = low.convert(Precision.FP64)
+        assert not np.allclose(back.data, tile.data)
+        assert low.precision is Precision.FP8_E4M3
+
+    def test_convert_inplace_bumps_version(self):
+        tile = Tile(np.ones((3, 3)), precision=Precision.FP32)
+        v0 = tile.version
+        tile.convert_(Precision.FP16)
+        assert tile.precision is Precision.FP16
+        assert tile.version == v0 + 1
+
+    def test_update_requantizes(self):
+        tile = Tile(np.zeros((2, 2)), precision=Precision.FP16)
+        tile.update(np.full((2, 2), 1e6))
+        assert float(tile.data[0, 0]) == pytest.approx(65504.0)
+
+    def test_norm_and_max_abs(self):
+        tile = Tile(np.array([[3.0, 4.0]]), precision=Precision.FP64)
+        assert tile.norm() == pytest.approx(5.0)
+        assert tile.max_abs() == 4.0
+
+    def test_empty_tile_max_abs(self):
+        tile = Tile(np.zeros((0, 3)), precision=Precision.FP32)
+        assert tile.max_abs() == 0.0
+
+    def test_copy_is_independent(self):
+        tile = Tile(np.ones((2, 2)), precision=Precision.FP32, coords=(1, 2))
+        dup = tile.copy()
+        dup.update(np.zeros((2, 2)))
+        assert float(tile.data[0, 0]) == 1.0
+        assert dup.coords == (1, 2)
+
+    def test_to_float64_returns_copy(self):
+        tile = Tile(np.ones((2, 2)), precision=Precision.FP32)
+        arr = tile.to_float64()
+        arr[0, 0] = 99.0
+        assert float(tile.data[0, 0]) == 1.0
