@@ -1,0 +1,143 @@
+"""Old-vs-new Build engine benchmark (BLAS-backed INT8 Gram dispatch).
+
+Times the seed Build path (int64 host matmul, per-tile quantization,
+dense FP64 staging + ``from_dense`` re-tiling) against the rebuilt
+engine (float64 dgemm dispatch, ``QuantizedOperand`` cache, streamed
+symmetric tile storage) on the INT8 training kernel at n=1024,
+ns=16384, asserts the >= 10x wall-clock speedup with bitwise-identical
+output, and writes ``BENCH_build.json`` at the repository root so
+future PRs have a perf trajectory to compare against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.distance.build import KernelBuilder
+from repro.distance.euclidean import squared_norms
+from repro.distance.kernels import gaussian_kernel
+from repro.precision.formats import Precision
+from repro.tiles.layout import TileLayout
+from repro.tiles.matrix import TileMatrix
+
+N, NS = 1024, 16384
+TILE = 64
+SNP_BLOCK = 4096
+GAMMA = 0.01
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_RESULT_FILE = _REPO_ROOT / "BENCH_build.json"
+
+
+_INT32_INFO = np.iinfo(np.int32)
+
+
+def _seed_gemm_int8(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Frozen copy of the seed ``gemm_mixed`` INT8/INT32 path (transb).
+
+    Kept verbatim-in-spirit so the "old" side of the benchmark stays
+    anchored to the historical implementation even as the live engine
+    evolves: float64 rint/clip quantization of both operands on every
+    call, int64 host matmul (NumPy scalar loops, no BLAS), a full
+    min/max overflow scan of the product, and an INT32 store rounding.
+    """
+    qa = np.clip(np.rint(np.asarray(a, dtype=np.float64)), -128, 127).astype(np.int8)
+    qb = np.clip(np.rint(np.asarray(b, dtype=np.float64)), -128, 127).astype(np.int8)
+    prod = qa.astype(np.int64) @ qb.astype(np.int64).T
+    if prod.size and (prod.max() > _INT32_INFO.max or prod.min() < _INT32_INFO.min):
+        raise OverflowError("INT32 accumulator overflow in integer GEMM")
+    result = prod.astype(np.float64)
+    return np.clip(np.rint(result), _INT32_INFO.min, _INT32_INFO.max).astype(np.int32)
+
+
+def _seed_build(genotypes: np.ndarray) -> TileMatrix:
+    """Faithful reproduction of the seed Build path.
+
+    Per-tile int64 Gram products with per-call quantization, full dense
+    FP64 staging matrix, and a ``from_dense`` re-tiling copy at the end.
+    """
+    n, ns = genotypes.shape
+    layout = TileLayout(rows=n, cols=n, tile_size=TILE)
+    d = squared_norms(genotypes, integer=True).astype(np.float64)
+    k = np.zeros((n, n), dtype=np.float64)
+    for bi in range(layout.tile_rows):
+        rs = layout.tile_slice(bi, 0)[0]
+        for bj in range(bi, layout.tile_cols):
+            cs = layout.tile_slice(0, bj)[1]
+            gram = np.zeros((rs.stop - rs.start, cs.stop - cs.start),
+                            dtype=np.float64)
+            for s0 in range(0, ns, SNP_BLOCK):
+                s1 = min(s0 + SNP_BLOCK, ns)
+                gram += np.asarray(
+                    _seed_gemm_int8(genotypes[rs, s0:s1], genotypes[cs, s0:s1]),
+                    dtype=np.float64,
+                )
+            dist = d[rs, None] + d[None, cs] - 2.0 * gram
+            np.maximum(dist, 0.0, out=dist)
+            tile_k = gaussian_kernel(dist, GAMMA)
+            k[rs, cs] = tile_k
+            if bi != bj:
+                k[cs, rs] = tile_k.T
+    np.fill_diagonal(k, 1.0)
+    return TileMatrix.from_dense(k, TILE, Precision.FP32, symmetric=True)
+
+
+def test_bench_build_engine(benchmark):
+    rng = np.random.default_rng(2024)
+    genotypes = rng.integers(0, 3, size=(N, NS)).astype(np.int8)
+
+    t0 = time.perf_counter()
+    seed_kernel = _seed_build(genotypes)
+    seed_seconds = time.perf_counter() - t0
+
+    builder = KernelBuilder(gamma=GAMMA, tile_size=TILE, snp_block=SNP_BLOCK,
+                            storage_precision=Precision.FP32)
+    engine_result = run_once(benchmark, builder.build_training, genotypes)
+    engine_seconds = benchmark.stats["mean"]
+
+    np.testing.assert_array_equal(engine_result.to_dense(),
+                                  seed_kernel.to_dense())
+
+    # GEMM-equivalent operation count of the full symmetric kernel
+    flops = 2.0 * N * N * NS
+    stats = engine_result.stats
+    tile_bytes = int(seed_kernel.nbytes())  # FP32 lower-triangle tiles
+    payload = {
+        "n": N,
+        "ns": NS,
+        "tile_size": TILE,
+        "snp_block": SNP_BLOCK,
+        "seed_seconds": round(seed_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(seed_seconds / engine_seconds, 2),
+        "seed_gflops": round(flops / seed_seconds / 1e9, 2),
+        "engine_gflops": round(flops / engine_seconds / 1e9, 2),
+        "engine_workers": stats.workers,
+        "peak_memory_estimate_bytes": {
+            # dense FP64 staging + re-tiled FP32 lower triangle
+            "seed": N * N * 8 + tile_bytes,
+            # streamed tile storage + in-flight row temporaries
+            "engine": tile_bytes
+            + (1 if stats.workers == 1 else stats.workers * 4) * 3
+            * stats.max_dense_temp_elements * 8,
+        },
+        "max_dense_temp_elements": stats.max_dense_temp_elements,
+        "bitwise_identical": True,
+    }
+    _RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\n=== Build engine: seed path vs BLAS-backed engine ===")
+    print(f"seed   : {seed_seconds:8.2f} s  ({payload['seed_gflops']:8.2f} GF/s)")
+    print(f"engine : {engine_seconds:8.2f} s  ({payload['engine_gflops']:8.2f} GF/s)")
+    print(f"speedup: {payload['speedup']:.2f}x (written to {_RESULT_FILE.name})")
+
+    assert payload["speedup"] >= 10.0, (
+        f"BLAS-backed Build must be >= 10x the seed path, got "
+        f"{payload['speedup']:.2f}x"
+    )
+    # the streamed build must not have staged a dense FP64 matrix
+    assert stats.dense_staging_elements == 0
+    assert stats.max_dense_temp_elements <= TILE * N

@@ -22,7 +22,12 @@ from repro.distance.euclidean import (
     squared_norms,
 )
 from repro.distance.kernels import gaussian_kernel, ibs_kernel, kernel_from_distance
-from repro.distance.build import BuildResult, KernelBuilder, build_kernel_matrix
+from repro.distance.build import (
+    BuildResult,
+    BuildStats,
+    KernelBuilder,
+    build_kernel_matrix,
+)
 
 __all__ = [
     "squared_norms",
@@ -33,5 +38,6 @@ __all__ = [
     "kernel_from_distance",
     "KernelBuilder",
     "BuildResult",
+    "BuildStats",
     "build_kernel_matrix",
 ]

@@ -5,31 +5,77 @@
 1. the per-patient squared norms of the SNP part are folded into a
    single vector (never a full matrix),
 2. each tile of the Gram product ``G G^T`` is computed with the INT8
-   tensor-core GEMM variant,
+   tensor-core GEMM variant dispatched through BLAS (the genotype
+   matrix is quantized **once** into a
+   :class:`~repro.precision.gemm.QuantizedOperand`, not once per tile),
 3. confounder (real-valued) columns contribute a separate FP32 Gram
    accumulation,
 4. the squared distance tile is assembled, the Gaussian exponentiation
    is fused in before the tile is released, and
-5. the finished tile is stored at the precision chosen by the adaptive
-   rule (or at the requested uniform precision).
+5. the finished tile is **streamed** straight into the output
+   :class:`~repro.tiles.matrix.TileMatrix` (or the dense cross-kernel
+   array) at the requested storage precision.
 
-The result can be a dense array or a :class:`~repro.tiles.matrix.TileMatrix`
-carrying the precision mosaic used by the Associate phase.
+The symmetric training Build never materializes the full dense FP64
+kernel: tiles flow from the (optionally thread-parallel — BLAS releases
+the GIL) tile loop into symmetric tile storage, and the adaptive
+precision rule is applied tile-wise from the streamed container.  Peak
+dense temporaries are a handful of single tiles, tracked in
+:class:`BuildStats` so tests can assert the memory behaviour.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.distance.euclidean import distance_flop_count, squared_norms
 from repro.distance.kernels import gaussian_kernel, ibs_kernel
 from repro.precision.formats import Precision
-from repro.precision.gemm import gemm_mixed
+from repro.precision.gemm import (
+    QuantizedOperand,
+    gemm_mixed,
+    integer_gemm_dtype,
+    variant_for_input,
+)
 from repro.tiles.adaptive import AdaptivePrecisionRule, decide_tile_precisions
 from repro.tiles.layout import TileLayout
 from repro.tiles.matrix import TileMatrix
+
+
+@dataclass
+class BuildStats:
+    """Allocation/execution accounting of one Build run.
+
+    Attributes
+    ----------
+    max_dense_temp_elements:
+        Largest dense float64 temporary allocated by any single tile
+        task (gram/distance/kernel tile).  For the streamed symmetric
+        Build this stays at one tile (``tile_size**2``) instead of the
+        full ``n**2`` the historical dense staging required.
+    dense_staging_elements:
+        Elements of full dense staging arrays allocated (0 for the
+        streamed training Build; ``n1*n2`` for the rectangular cross
+        kernel, whose dense array is the *output*, not a temporary).
+    tile_tasks:
+        Number of tile tasks executed.
+    workers:
+        Worker threads used by the tile loop.
+    """
+
+    max_dense_temp_elements: int = 0
+    dense_staging_elements: int = 0
+    tile_tasks: int = 0
+    workers: int = 1
+
+    def note_temp(self, n_elements: int) -> None:
+        if n_elements > self.max_dense_temp_elements:
+            self.max_dense_temp_elements = n_elements
 
 
 @dataclass
@@ -47,17 +93,63 @@ class BuildResult:
         Operation count split by compute precision.
     precision_map:
         Per-tile storage precisions when adaptive storage was requested.
+    stats:
+        Allocation/execution accounting (:class:`BuildStats`).
     """
 
     kernel: TileMatrix | np.ndarray
     flops: float = 0.0
     flops_by_precision: dict[Precision, float] = field(default_factory=dict)
     precision_map: dict[tuple[int, int], Precision] | None = None
+    stats: BuildStats = field(default_factory=BuildStats)
 
     def to_dense(self) -> np.ndarray:
         if isinstance(self.kernel, TileMatrix):
             return self.kernel.to_dense()
         return np.asarray(self.kernel)
+
+
+def _resolve_workers(workers: int | None) -> int:
+    """Resolve the tile-loop thread count (default: sequential).
+
+    Threading is opt-in: BLAS libraries typically run their own thread
+    team per GEMM, so silently stacking a Python thread pool on top
+    would oversubscribe the host for every existing caller.  Callers
+    that have configured their BLAS threading (or run many small tiles)
+    opt in with an explicit ``workers``.
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    return 1
+
+
+def _windowed_map(fn: Callable, tasks: Sequence, workers: int,
+                  window_factor: int = 4) -> Iterator[tuple[object, object]]:
+    """Yield ``(task, fn(task))`` with a bounded number of tasks in flight.
+
+    Completed results are consumed as they finish (unordered), so the
+    number of live tile temporaries is bounded by the submission window
+    rather than the total tile count.
+    """
+    if workers <= 1:
+        for task in tasks:
+            yield task, fn(task)
+        return
+    window = max(workers * window_factor, 1)
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        pending = {}
+        for task in tasks[:window]:
+            pending[executor.submit(fn, task)] = task
+        submitted = min(window, len(tasks))
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                yield task, future.result()
+                if submitted < len(tasks):
+                    nxt = tasks[submitted]
+                    submitted += 1
+                    pending[executor.submit(fn, nxt)] = nxt
 
 
 @dataclass
@@ -85,6 +177,10 @@ class KernelBuilder:
         Uniform storage precision when no adaptive rule is given.
     snp_block:
         Column blocking of the SNP dimension inside each Gram tile.
+    workers:
+        Worker threads of the tile loop (BLAS releases the GIL, so tile
+        GEMMs genuinely overlap).  ``None`` picks ``min(8, cpu_count)``;
+        1 keeps the loop sequential.
     """
 
     kernel_type: str = "gaussian"
@@ -95,6 +191,7 @@ class KernelBuilder:
     adaptive_rule: AdaptivePrecisionRule | None = None
     storage_precision: Precision | str = Precision.FP32
     snp_block: int = 4096
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         self.snp_precision = Precision.from_string(self.snp_precision)
@@ -108,124 +205,256 @@ class KernelBuilder:
     # ------------------------------------------------------------------
     def build_training(self, genotypes: np.ndarray,
                        confounders: np.ndarray | None = None) -> BuildResult:
-        """Build the symmetric training kernel matrix ``K`` (NP1 × NP1)."""
-        k_dense, flops, by_prec = self._kernel_dense(genotypes, genotypes,
-                                                     confounders, confounders,
-                                                     symmetric=True)
+        """Build the symmetric training kernel matrix ``K`` (NP1 × NP1).
+
+        The kernel streams tile-by-tile into symmetric tile storage;
+        no full dense FP64 staging matrix is ever allocated.
+        """
+        genotypes = np.asarray(genotypes)
+        n = genotypes.shape[0]
+
+        if self.kernel_type.lower() == "ibs":
+            k_dense, flops, by_prec = self._ibs_dense(genotypes, genotypes, True)
+            stats = BuildStats(dense_staging_elements=k_dense.size)
+            precision_map: dict[tuple[int, int], Precision] | None = None
+            if self.adaptive_rule is not None:
+                tiled = TileMatrix.from_dense(k_dense, self.tile_size,
+                                              Precision.FP64, symmetric=True)
+                precision_map = decide_tile_precisions(tiled, self.adaptive_rule)
+                tiled.apply_precision_map(precision_map)
+            else:
+                tiled = TileMatrix.from_dense(k_dense, self.tile_size,
+                                              self.storage_precision,
+                                              symmetric=True)
+            return BuildResult(kernel=tiled, flops=flops,
+                               flops_by_precision=by_prec,
+                               precision_map=precision_map, stats=stats)
+
+        stats = BuildStats()
+        # Streaming target: tiles staged at FP64 when the adaptive rule
+        # needs to see exact tile norms, otherwise quantized on arrival.
+        staging = Precision.FP64 if self.adaptive_rule is not None else (
+            self.storage_precision)
+        tiled = TileMatrix.empty(n, n, self.tile_size, staging, symmetric=True)
+
+        flops_box: list[float] = [0.0]
+        by_prec: dict[Precision, float] = {}
+
+        def consume(coords: tuple[int, int], tile_k: np.ndarray) -> None:
+            bi, bj = coords
+            if bi == bj:
+                np.fill_diagonal(tile_k, 1.0)
+            tiled.set_tile(bi, bj, tile_k, precision=staging)
+
+        self._stream_tiles(genotypes, genotypes, confounders, confounders,
+                           symmetric=True, consume=consume,
+                           flops_box=flops_box, by_prec=by_prec, stats=stats)
+
         precision_map: dict[tuple[int, int], Precision] | None = None
         if self.adaptive_rule is not None:
-            tiled = TileMatrix.from_dense(k_dense, self.tile_size,
-                                          Precision.FP64, symmetric=True)
             precision_map = decide_tile_precisions(tiled, self.adaptive_rule)
             tiled.apply_precision_map(precision_map)
-        else:
-            tiled = TileMatrix.from_dense(k_dense, self.tile_size,
-                                          self.storage_precision, symmetric=True)
-        return BuildResult(kernel=tiled, flops=flops,
+        return BuildResult(kernel=tiled, flops=flops_box[0],
                            flops_by_precision=by_prec,
-                           precision_map=precision_map)
+                           precision_map=precision_map, stats=stats)
 
     def build_cross(self, test_genotypes: np.ndarray, train_genotypes: np.ndarray,
                     test_confounders: np.ndarray | None = None,
                     train_confounders: np.ndarray | None = None) -> BuildResult:
         """Build the rectangular test-vs-train kernel (NP2 × NP1, Predict phase)."""
-        k_dense, flops, by_prec = self._kernel_dense(
-            test_genotypes, train_genotypes, test_confounders, train_confounders,
-            symmetric=False,
-        )
-        return BuildResult(kernel=k_dense, flops=flops, flops_by_precision=by_prec)
+        test_genotypes = np.asarray(test_genotypes)
+        train_genotypes = np.asarray(train_genotypes)
+
+        if self.kernel_type.lower() == "ibs":
+            k_dense, flops, by_prec = self._ibs_dense(
+                test_genotypes, train_genotypes, False)
+            stats = BuildStats(dense_staging_elements=k_dense.size)
+            return BuildResult(kernel=k_dense, flops=flops,
+                               flops_by_precision=by_prec, stats=stats)
+
+        n1, n2 = test_genotypes.shape[0], train_genotypes.shape[0]
+        stats = BuildStats(dense_staging_elements=n1 * n2)
+        out = np.zeros((n1, n2), dtype=np.float64)
+        layout = TileLayout(rows=n1, cols=n2, tile_size=self.tile_size)
+
+        flops_box = [0.0]
+        by_prec: dict[Precision, float] = {}
+
+        def consume(coords: tuple[int, int], tile_k: np.ndarray) -> None:
+            rs, cs = layout.tile_slice(*coords)
+            out[rs, cs] = tile_k
+
+        self._stream_tiles(test_genotypes, train_genotypes,
+                           test_confounders, train_confounders,
+                           symmetric=False, consume=consume,
+                           flops_box=flops_box, by_prec=by_prec, stats=stats)
+        return BuildResult(kernel=out, flops=flops_box[0],
+                           flops_by_precision=by_prec, stats=stats)
 
     # ------------------------------------------------------------------
-    def _kernel_dense(self, g1: np.ndarray, g2: np.ndarray,
+    def _ibs_dense(self, g1: np.ndarray, g2: np.ndarray,
+                   symmetric: bool) -> tuple[np.ndarray, float, dict]:
+        if g1.shape[1] != g2.shape[1]:
+            raise ValueError("genotype matrices must share the SNP dimension")
+        k = ibs_kernel(g1, None if symmetric else g2)
+        flops = distance_flop_count(g1.shape[0], g2.shape[0], g1.shape[1],
+                                    symmetric)
+        return k, flops, {Precision.INT8: flops}
+
+    def _stream_tiles(self, g1: np.ndarray, g2: np.ndarray,
                       c1: np.ndarray | None, c2: np.ndarray | None,
-                      symmetric: bool) -> tuple[np.ndarray, float, dict]:
-        g1 = np.asarray(g1)
-        g2 = np.asarray(g2)
+                      symmetric: bool,
+                      consume: Callable[[tuple[int, int], np.ndarray], None],
+                      flops_box: list, by_prec: dict, stats: BuildStats) -> None:
+        """Run the tile loop, streaming finished kernel tiles to ``consume``.
+
+        Tile tasks are independent (each reads shared quantized operands
+        and writes only its own temporaries), so they run on a thread
+        pool; results are consumed in completion order on the caller's
+        thread, which keeps ``TileMatrix`` mutation single-threaded.
+        """
         if g1.shape[1] != g2.shape[1]:
             raise ValueError("genotype matrices must share the SNP dimension")
         if (c1 is None) != (c2 is None):
             raise ValueError("confounders must be provided for both sides or neither")
 
-        if self.kernel_type.lower() == "ibs":
-            k = ibs_kernel(g1, None if symmetric else g2)
-            flops = distance_flop_count(g1.shape[0], g2.shape[0], g1.shape[1],
-                                        symmetric)
-            return k, flops, {Precision.INT8: flops}
-
         n1, n2 = g1.shape[0], g2.shape[0]
         ns = g1.shape[1]
         layout = TileLayout(rows=n1, cols=n2, tile_size=self.tile_size)
+
+        snp_variant = variant_for_input(
+            self.snp_precision if self.snp_precision in (
+                Precision.INT8, Precision.FP64, Precision.FP32,
+                Precision.FP16, Precision.FP8_E4M3,
+            ) else Precision.FP32)
+        conf_variant = variant_for_input(
+            Precision.FP32 if self.confounder_precision is Precision.FP32
+            else Precision.FP64)
+
+        # Quantize each operand side once; tile tasks slice shared views.
+        q1 = QuantizedOperand(g1, snp_variant.input_precision)
+        q2 = q1 if symmetric else QuantizedOperand(g2, snp_variant.input_precision)
+        # materialize the float/max|.| caches before threading so the
+        # worker tasks only ever read shared state; the integer path
+        # picks the narrowest exact BLAS dtype (sgemm for genotypes)
+        if snp_variant.accumulate_precision.is_integer:
+            blas_dtype = integer_gemm_dtype(
+                q1.max_abs(), q2.max_abs(), ns) or np.float64
+            q1.as_float(blas_dtype)
+            if q2 is not q1:
+                q2.as_float(blas_dtype)
+        else:
+            q1.max_abs()
+            if q2 is not q1:
+                q2.max_abs()
 
         d1 = squared_norms(g1, integer=self.snp_precision.is_integer).astype(np.float64)
         d2 = d1 if symmetric else squared_norms(
             g2, integer=self.snp_precision.is_integer).astype(np.float64)
 
         if c1 is not None:
-            c1 = np.asarray(c1, dtype=np.float64)
-            c2 = np.asarray(c2, dtype=np.float64)
-            e1 = np.einsum("ij,ij->i", c1, c1)
-            e2 = e1 if symmetric else np.einsum("ij,ij->i", c2, c2)
+            qc1 = QuantizedOperand(np.asarray(c1, dtype=np.float64),
+                                   conf_variant.input_precision)
+            qc2 = qc1 if symmetric else QuantizedOperand(
+                np.asarray(c2, dtype=np.float64), conf_variant.input_precision)
+            e1 = np.einsum("ij,ij->i", np.asarray(c1, dtype=np.float64),
+                           np.asarray(c1, dtype=np.float64))
+            e2 = e1 if symmetric else np.einsum(
+                "ij,ij->i", np.asarray(c2, dtype=np.float64),
+                np.asarray(c2, dtype=np.float64))
+            n_conf = np.asarray(c1).shape[1]
         else:
+            qc1 = qc2 = None
             e1 = e2 = None
+            n_conf = 0
 
-        snp_variant = {
-            Precision.INT8: "AB8I_C32I_OP32I",
-            Precision.FP64: "FP64",
-            Precision.FP32: "FP32",
-            Precision.FP16: "FP16_FP32ACC",
-            Precision.FP8_E4M3: "FP8_E4M3_FP32ACC",
-        }.get(self.snp_precision, "FP32")
-        conf_variant = "FP32" if self.confounder_precision is Precision.FP32 else "FP64"
+        # One task per block row of tiles: the Gram product then runs as
+        # a (tile_size x ns) @ (ns x row_width) dgemm — large enough for
+        # BLAS to reach peak — while the peak dense temporary stays at
+        # one tile row.  For the symmetric case a row task covers only
+        # the lower-triangle width.  Elementwise assembly (norm folding,
+        # clamp, exponentiation) is identical per element regardless of
+        # the task granularity, and the INT8 Gram is exact integer
+        # arithmetic, so the produced tiles match the historical
+        # per-tile loop bit for bit.
+        tasks = list(range(layout.tile_rows))
 
-        k = np.zeros((n1, n2), dtype=np.float64)
-        flops = 0.0
-        by_prec: dict[Precision, float] = {}
+        workers = _resolve_workers(self.workers)
+        stats.workers = workers
+        stats.tile_tasks = len(tasks)
 
-        for bi in range(layout.tile_rows):
+        snp_block = self.snp_block
+        gamma = self.gamma
+
+        # For the integer variant the SNP-block loop exists only to keep
+        # the emulated INT32 accumulator in range; when the analytic
+        # bound max|a|*max|b|*ns already proves the *total* accumulation
+        # safe (genotypes {0,1,2} always do), the blocks fuse into one
+        # contiguous dgemm — both faster and closer to the hardware,
+        # which accumulates every block GEMM into the same INT32 C.
+        # Float variants keep the blocked loop: their per-block rounding
+        # order is observable.
+        fuse_snp_blocks = (
+            snp_variant.accumulate_precision.is_integer
+            and q1.max_abs() * q2.max_abs() * ns <= float(np.iinfo(np.int32).max)
+        )
+
+        def row_task(bi: int) -> np.ndarray:
             rs = layout.tile_slice(bi, 0)[0]
-            cols_start = 0 if not symmetric else bi  # lower triangle only when symmetric
-            for bj in range(cols_start if symmetric else 0, layout.tile_cols):
-                cs = layout.tile_slice(0, bj)[1]
-                # --- integer (SNP) Gram contribution, blocked over SNPs
-                gram = np.zeros((rs.stop - rs.start, cs.stop - cs.start),
-                                dtype=np.float64)
-                for s0 in range(0, ns, self.snp_block):
-                    s1 = min(s0 + self.snp_block, ns)
+            mb = rs.stop - rs.start
+            col_end = min((bi + 1) * layout.tile_size, n2) if symmetric else n2
+            cs = slice(0, col_end)
+            # --- integer (SNP) Gram contribution, blocked over SNPs
+            if fuse_snp_blocks:
+                gram = np.asarray(
+                    gemm_mixed(q1[rs, :], q2[cs, :],
+                               variant=snp_variant, transb=True),
+                    dtype=np.float64,
+                )
+            else:
+                gram = np.zeros((mb, col_end), dtype=np.float64)
+                for s0 in range(0, ns, snp_block):
+                    s1 = min(s0 + snp_block, ns)
                     gram += np.asarray(
-                        gemm_mixed(g1[rs, s0:s1], g2[cs, s0:s1],
+                        gemm_mixed(q1[rs, s0:s1], q2[cs, s0:s1],
                                    variant=snp_variant, transb=True),
                         dtype=np.float64,
                     )
-                tile_flops = 2.0 * (rs.stop - rs.start) * (cs.stop - cs.start) * ns
-                flops += tile_flops
-                by_prec[self.snp_precision] = by_prec.get(self.snp_precision, 0.0) + tile_flops
+            dist = d1[rs, None] + d2[None, cs] - 2.0 * gram
 
-                dist = d1[rs, None] + d2[None, cs] - 2.0 * gram
+            # --- confounder FP32 contribution accumulated separately
+            if qc1 is not None and n_conf > 0:
+                gram_c = np.asarray(
+                    gemm_mixed(qc1[rs, :], qc2[cs, :], variant=conf_variant,
+                               transb=True),
+                    dtype=np.float64,
+                )
+                dist += e1[rs, None] + e2[None, cs] - 2.0 * gram_c
 
-                # --- confounder FP32 contribution accumulated separately
-                if c1 is not None and c1.shape[1] > 0:
-                    gram_c = np.asarray(
-                        gemm_mixed(c1[rs, :], c2[cs, :], variant=conf_variant,
-                                   transb=True),
-                        dtype=np.float64,
-                    )
-                    dist += e1[rs, None] + e2[None, cs] - 2.0 * gram_c
-                    cf = 2.0 * (rs.stop - rs.start) * (cs.stop - cs.start) * c1.shape[1]
-                    flops += cf
+            np.maximum(dist, 0.0, out=dist)
+            # fused exponentiation before the row of tiles is released
+            return gaussian_kernel(dist, gamma)
+
+        for bi, row_k in _windowed_map(row_task, tasks, workers):
+            # allocation accounting happens on this (single) consumer
+            # thread; gram/dist/row_k in row_task all share row_k's shape
+            stats.note_temp(row_k.size)
+            rs = layout.tile_slice(bi, 0)[0]
+            mb = rs.stop - rs.start
+            col_tiles = (bi + 1) if symmetric else layout.tile_cols
+            for bj in range(col_tiles):
+                cs = layout.tile_slice(bi, bj)[1]
+                nb = cs.stop - cs.start
+                tile_flops = 2.0 * mb * nb * ns
+                flops_box[0] += tile_flops
+                by_prec[self.snp_precision] = (
+                    by_prec.get(self.snp_precision, 0.0) + tile_flops)
+                if n_conf > 0:
+                    cf = 2.0 * mb * nb * n_conf
+                    flops_box[0] += cf
                     by_prec[self.confounder_precision] = (
-                        by_prec.get(self.confounder_precision, 0.0) + cf
-                    )
-
-                np.maximum(dist, 0.0, out=dist)
-                # fused exponentiation before the tile is released
-                tile_k = gaussian_kernel(dist, self.gamma)
-                k[rs, cs] = tile_k
-                if symmetric and bi != bj:
-                    k[cs, rs] = tile_k.T
-
-        if symmetric:
-            np.fill_diagonal(k, 1.0)
-        return k, flops, by_prec
+                        by_prec.get(self.confounder_precision, 0.0) + cf)
+                consume((bi, bj), row_k[:, cs])
 
 
 def build_kernel_matrix(genotypes: np.ndarray,
@@ -234,7 +463,8 @@ def build_kernel_matrix(genotypes: np.ndarray,
                         tile_size: int = 64,
                         kernel_type: str = "gaussian",
                         adaptive_rule: AdaptivePrecisionRule | None = None,
-                        snp_precision: Precision | str = Precision.INT8) -> BuildResult:
+                        snp_precision: Precision | str = Precision.INT8,
+                        workers: int | None = None) -> BuildResult:
     """One-call Build phase for the training kernel matrix."""
     builder = KernelBuilder(
         kernel_type=kernel_type,
@@ -242,5 +472,6 @@ def build_kernel_matrix(genotypes: np.ndarray,
         tile_size=tile_size,
         snp_precision=snp_precision,
         adaptive_rule=adaptive_rule,
+        workers=workers,
     )
     return builder.build_training(genotypes, confounders)

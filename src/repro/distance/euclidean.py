@@ -24,7 +24,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.precision.formats import Precision
-from repro.precision.gemm import gemm_mixed, syrk_flop_count
+from repro.precision.gemm import (
+    QuantizedOperand,
+    gemm_mixed,
+    syrk_flop_count,
+    variant_for_input,
+)
 
 
 def squared_norms(g: np.ndarray, integer: bool = True) -> np.ndarray:
@@ -35,6 +40,10 @@ def squared_norms(g: np.ndarray, integer: bool = True) -> np.ndarray:
     """
     g = np.asarray(g)
     if integer:
+        if np.issubdtype(g.dtype, np.integer):
+            # einsum widens to the accumulation dtype internally —
+            # exact, and skips a full int64 copy of the matrix
+            return np.einsum("ij,ij->i", g, g, dtype=np.int64)
         gi = g.astype(np.int64)
         return np.einsum("ij,ij->i", gi, gi).astype(np.int64)
     gf = g.astype(np.float64)
@@ -56,19 +65,25 @@ def _gram(g1: np.ndarray, g2: np.ndarray, precision: Precision,
     ns = g1.shape[1]
     if g2.shape[1] != ns:
         raise ValueError("G1 and G2 must have the same number of columns")
-    variant = {
-        Precision.INT8: "AB8I_C32I_OP32I",
-        Precision.FP64: "FP64",
-        Precision.FP32: "FP32",
-        Precision.FP16: "FP16_FP32ACC",
-        Precision.FP8_E4M3: "FP8_E4M3_FP32ACC",
-    }.get(precision, "FP32")
+    variant = variant_for_input(
+        precision if precision in (
+            Precision.INT8, Precision.FP64, Precision.FP32,
+            Precision.FP16, Precision.FP8_E4M3,
+        ) else Precision.FP32)
 
+    # quantize each side once; the block loop slices shared views
+    q1 = QuantizedOperand(g1, variant.input_precision)
+    q2 = q1 if g2 is g1 else QuantizedOperand(g2, variant.input_precision)
+    if (variant.accumulate_precision.is_integer
+            and q1.max_abs() * q2.max_abs() * ns <= float(np.iinfo(np.int32).max)):
+        # total INT32 accumulation provably safe: one fused dgemm
+        return np.asarray(
+            gemm_mixed(q1, q2, variant=variant, transb=True), dtype=np.float64)
     out = np.zeros((g1.shape[0], g2.shape[0]), dtype=np.float64)
     for start in range(0, ns, snp_block):
         stop = min(start + snp_block, ns)
         out += np.asarray(
-            gemm_mixed(g1[:, start:stop], g2[:, start:stop],
+            gemm_mixed(q1[:, start:stop], q2[:, start:stop],
                        variant=variant, transb=True),
             dtype=np.float64,
         )

@@ -209,6 +209,9 @@ class KRRConfig:
         Mixed-precision plan of the Associate phase.
     snp_precision:
         Input precision of the distance Gram products (INT8 default).
+    build_workers:
+        Worker threads of the Build-phase tile loop (``None`` lets the
+        builder pick ``min(8, cpu_count)``; 1 forces sequential).
     normalize_gamma:
         When True (default), γ is rescaled with the SNP count so that
         ``γ_eff · E[||g_i - g_j||²]`` stays constant across cohorts of
@@ -226,6 +229,7 @@ class KRRConfig:
     tile_size: int = 64
     precision_plan: PrecisionPlan = field(default_factory=PrecisionPlan.adaptive_fp16)
     snp_precision: Precision = Precision.INT8
+    build_workers: int | None = None
     normalize_gamma: bool = True
 
     def __post_init__(self) -> None:

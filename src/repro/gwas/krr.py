@@ -106,6 +106,7 @@ class KernelRidgeRegressionGWAS:
             snp_precision=cfg.snp_precision,
             adaptive_rule=adaptive_rule,
             storage_precision=plan.working_precision,
+            workers=cfg.build_workers,
         )
         return builder.build_training(genotypes, confounders)
 
@@ -142,8 +143,12 @@ class KernelRidgeRegressionGWAS:
         self.regularization_boosts_ = 0
         alpha = cfg.alpha if cfg.alpha > 0 else 1e-6
         last_error: Exception | None = None
+        diag_idx = np.diag_indices(n)
         for attempt in range(3):
-            a = k_dense + alpha * np.eye(n)
+            # regularize in place of a copy; avoids the dense n x n
+            # identity temporary the historical path built per attempt
+            a = k_dense.copy()
+            a[diag_idx] += alpha
             pmap = plan.precision_map(layout, matrix=a)
             try:
                 fact = cholesky(a, tile_size=cfg.tile_size,
@@ -222,6 +227,7 @@ class KernelRidgeRegressionGWAS:
             tile_size=cfg.tile_size,
             snp_precision=cfg.snp_precision,
             storage_precision=cfg.precision_plan.working_precision,
+            workers=cfg.build_workers,
         )
         cross = builder.build_cross(
             genotypes, model.training_genotypes,

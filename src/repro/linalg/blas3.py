@@ -15,7 +15,7 @@ from typing import Callable
 import numpy as np
 
 from repro.precision.formats import Precision
-from repro.precision.gemm import gemm_mixed, variant_for_input
+from repro.precision.gemm import QuantizedOperand, gemm_mixed, variant_for_input
 from repro.precision.quantize import quantize
 from repro.tiles.layout import TileLayout
 
@@ -88,6 +88,16 @@ def syrk(
     for bi in range(layout.tile_rows):
         rs = layout.tile_slice(bi, 0)[0]
         panel = x[rs, :]
+        # quantize the row panel once per input precision it is read at;
+        # column-tile products below slice the shared quantized views
+        qpanel: dict[Precision, QuantizedOperand] = {}
+
+        def qcols(prec: Precision, cols: slice) -> QuantizedOperand:
+            variant_input = variant_for_input(prec).input_precision
+            if variant_input not in qpanel:
+                qpanel[variant_input] = QuantizedOperand(panel, variant_input)
+            return qpanel[variant_input][:, cols]
+
         # split this row panel by column tiles so integer and float
         # columns use different GEMM variants
         for bj in range(layout.tile_cols):
@@ -100,8 +110,8 @@ def syrk(
                     else Precision.FP32
                 variant = variant_for_input(prec)
                 block = np.asarray(
-                    gemm_mixed(panel[:, cs_j], panel[:, cs_k], variant=variant,
-                               transa=True),
+                    gemm_mixed(qcols(prec, cs_j), qcols(prec, cs_k),
+                               variant=variant, transa=True),
                     dtype=np.float64,
                 )
                 acc[cs_j, cs_k] += block
@@ -137,11 +147,14 @@ def gemm(
         raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
 
     variant = variant_for_input(precision)
+    # quantize both operands once; the k-block loop slices shared views
+    qa = QuantizedOperand(a, variant.input_precision)
+    qb = QuantizedOperand(b, variant.input_precision)
     out = np.zeros((m, n), dtype=np.float64)
     layout_k = TileLayout(rows=k, cols=1, tile_size=tile_size)
     for bk in range(layout_k.tile_rows):
         ks = layout_k.tile_slice(bk, 0)[0]
         out += np.asarray(
-            gemm_mixed(a[:, ks], b[ks, :], variant=variant), dtype=np.float64
+            gemm_mixed(qa[:, ks], qb[ks, :], variant=variant), dtype=np.float64
         )
     return np.asarray(quantize(out, precision), dtype=np.float64)

@@ -160,7 +160,7 @@ def cholesky(
     result = CholeskyResult(factor=tiled, flops=0.0)
 
     if runtime is None:
-        _cholesky_direct(tiled, nt, working_precision, tile_precision, result)
+        _cholesky_direct(tiled, working_precision, tile_precision, result)
     else:
         _cholesky_runtime(tiled, nt, working_precision, tile_precision, result,
                           runtime)
@@ -176,36 +176,54 @@ def cholesky(
 # ----------------------------------------------------------------------
 # direct (host-ordered) execution
 # ----------------------------------------------------------------------
-def _cholesky_direct(tiled: TileMatrix, nt: int, wp: Precision,
+def _cholesky_direct(tiled: TileMatrix, wp: Precision,
                      tile_precision, result: CholeskyResult) -> None:
-    nb = tiled.tile_size
+    from repro.linalg.kernels import panel_operand
+
+    nt = tiled.layout.tile_rows
     for k in range(nt):
         akk = tiled.get_tile(k, k).to_float64()
         lkk = tile_potrf(akk, precision=wp)
         tiled.set_tile(k, k, lkk, precision=wp)
         _accumulate(result, "potrf", wp, potrf_flops(akk.shape[0]))
 
+        # stored panel tiles, read back once per panel instead of once
+        # per trailing update they participate in
+        panel64: dict[int, np.ndarray] = {}
         for i in range(k + 1, nt):
             aik = tiled.get_tile(i, k).to_float64()
             lik = tile_trsm(lkk, aik, precision=wp, side="right", trans=True)
             tiled.set_tile(i, k, lik, precision=tile_precision(i, k))
+            panel64[i] = tiled.get_tile(i, k).to_float64()
             _accumulate(result, "trsm", wp, trsm_flops(aik.shape[1], aik.shape[0]))
 
+        # per-(tile, precision) quantization cache for the trailing update:
+        # L[i,k] is consumed by one SYRK and up to nt-k-2 GEMMs, all of
+        # which would otherwise re-quantize it from scratch
+        qpanel: dict[tuple[int, Precision], object] = {}
+
+        def qtile(idx: int, precision: Precision):
+            key = (idx, precision)
+            if key not in qpanel:
+                qpanel[key] = panel_operand(panel64[idx], precision)
+            return qpanel[key]
+
         for i in range(k + 1, nt):
-            lik = tiled.get_tile(i, k).to_float64()
+            lik = panel64[i]
             # SYRK on the diagonal of the trailing matrix
             aii = tiled.get_tile(i, i).to_float64()
             p_ii = wp
-            new_aii = tile_syrk(lik, aii, precision=p_ii, alpha=-1.0, beta=1.0)
+            new_aii = tile_syrk(qtile(i, p_ii), aii, precision=p_ii,
+                                alpha=-1.0, beta=1.0)
             tiled.set_tile(i, i, new_aii, precision=p_ii)
             _accumulate(result, "syrk", p_ii, syrk_flops(aii.shape[0], lik.shape[1]))
 
             # GEMM on the off-diagonal trailing tiles of this block column
             for j in range(k + 1, i):
-                ljk = tiled.get_tile(j, k).to_float64()
                 aij = tiled.get_tile(i, j).to_float64()
                 p_ij = tile_precision(i, j)
-                new_aij = tile_gemm(lik, ljk, aij, precision=p_ij,
+                new_aij = tile_gemm(qtile(i, p_ij), qtile(j, p_ij), aij,
+                                    precision=p_ij,
                                     alpha=-1.0, beta=1.0, transb=True)
                 tiled.set_tile(i, j, new_aij, precision=p_ij)
                 _accumulate(result, "gemm", p_ij,

@@ -23,12 +23,30 @@ import numpy as np
 import scipy.linalg
 
 from repro.precision.formats import Precision
-from repro.precision.gemm import gemm_mixed, variant_for_input
+from repro.precision.gemm import (
+    QuantizedOperand,
+    gemm_mixed,
+    syrk_mixed,
+    variant_for_input,
+)
 from repro.precision.quantize import quantize
 
 
 def _as64(x: np.ndarray) -> np.ndarray:
     return np.asarray(x, dtype=np.float64)
+
+
+def panel_operand(tile: np.ndarray, precision: Precision | str) -> QuantizedOperand:
+    """Pre-quantize a panel tile for reuse across trailing updates.
+
+    The Cholesky trailing update reads each panel tile ``L[i,k]`` once
+    per destination tile in its block row/column; wrapping it in a
+    :class:`QuantizedOperand` at the update variant's input precision
+    makes the repeated quantization a cache hit.
+    """
+    precision = Precision.from_string(precision)
+    variant = variant_for_input(precision if precision.is_float else Precision.FP32)
+    return QuantizedOperand(np.asarray(tile), variant.input_precision)
 
 
 def tile_potrf(a: np.ndarray, precision: Precision | str = Precision.FP64,
@@ -89,11 +107,13 @@ def tile_syrk(a_tile: np.ndarray, c_tile: np.ndarray,
     """Symmetric rank-k update ``C = alpha * A @ A.T + beta * C`` on one tile.
 
     For FP16/FP8 compute precisions the product accumulates in FP32
-    (tensor-core behaviour) via :func:`repro.precision.gemm.gemm_mixed`.
+    (tensor-core behaviour).  The Gram product runs through the BLAS
+    ``?syrk`` triangular update of :func:`repro.precision.gemm.syrk_mixed`
+    (half the flops of the full GEMM the historical path used).
     """
     precision = Precision.from_string(precision)
     variant = variant_for_input(precision) if precision.is_float else variant_for_input(Precision.FP32)
-    prod = _as64(gemm_mixed(a_tile, a_tile, variant=variant, transb=True))
+    prod = _as64(syrk_mixed(a_tile, variant=variant))
     c64 = _as64(quantize(_as64(c_tile), precision))
     out = alpha * prod + beta * c64
     return _as64(quantize(out, precision))

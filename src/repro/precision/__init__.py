@@ -39,9 +39,15 @@ from repro.precision.quantize import (
     quantize_int8,
 )
 from repro.precision.gemm import (
+    EXACT_DGEMM_BOUND,
+    EXACT_SGEMM_BOUND,
     GemmVariant,
+    QuantizedOperand,
     gemm_mixed,
     gemm_variant,
+    integer_backend,
+    integer_gemm_dtype,
+    set_integer_backend,
     syrk_mixed,
 )
 from repro.precision.error_model import (
@@ -62,9 +68,15 @@ __all__ = [
     "dequantize_int8",
     "Int8Quantization",
     "GemmVariant",
+    "QuantizedOperand",
     "gemm_variant",
     "gemm_mixed",
     "syrk_mixed",
+    "integer_backend",
+    "set_integer_backend",
+    "integer_gemm_dtype",
+    "EXACT_DGEMM_BOUND",
+    "EXACT_SGEMM_BOUND",
     "dot_product_error_bound",
     "cholesky_error_bound",
     "representable_relative_error",

@@ -1,4 +1,4 @@
-"""Emulated tensor-core GEMM / SYRK variants.
+"""Emulated tensor-core GEMM / SYRK variants, BLAS-backed.
 
 The paper's Build and Associate phases call cuBLAS with precision
 combinations chosen per tile:
@@ -14,16 +14,88 @@ format's value grid, (2) performing the product in the accumulation
 format, (3) rounding the result to the output format.  Integer variants
 are exact as long as the INT32 accumulator does not overflow, exactly
 like the hardware.
+
+Backend
+-------
+The integer variants dispatch the actual multiplication through float64
+dgemm (``"blas"`` backend, the default): a float64 product of
+integer-valued operands is bit-exact as long as every partial sum stays
+below ``2**53`` (:data:`EXACT_DGEMM_BOUND`), which the analytic bound
+``max|a| * max|b| * k`` proves for any realistic SNP blocking.  NumPy
+executes integer matmul with scalar loops (no BLAS), so this dispatch
+is what makes the "fast" INT8 path actually fast on the host.  The
+historical int64 matmul is kept behind the ``"int64"`` backend for
+cross-checking; :func:`integer_backend` switches it temporarily.
+
+Operands that are reused across many tiles (the genotype matrix in the
+Build phase, the panel tiles in the Cholesky trailing update) can be
+wrapped in a :class:`QuantizedOperand` so quantization, the float64
+cast for BLAS, and the ``max|.|`` bound are computed once per matrix
+instead of once per (tile x SNP-block) GEMM call.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.linalg import blas as _scipy_blas
 
 from repro.precision.formats import Precision
 from repro.precision.quantize import quantize
+
+#: Largest magnitude below which every float64 partial sum of an
+#: integer-valued product is exactly representable (2**53).
+EXACT_DGEMM_BOUND = float(2 ** 53)
+
+#: Same bound for float32 accumulation (2**24): when the analytic
+#: partial-sum bound stays below it, the integer product can dispatch to
+#: sgemm — twice the flop rate and half the operand-cache footprint.
+EXACT_SGEMM_BOUND = float(2 ** 24)
+
+
+def integer_gemm_dtype(max_a: float, max_b: float, k: int) -> type | None:
+    """Narrowest float dtype that multiplies these integers exactly.
+
+    Returns ``numpy.float32``/``numpy.float64`` when the analytic
+    partial-sum bound ``max|a| * max|b| * k`` proves every intermediate
+    exactly representable, or ``None`` when not even float64 is safe
+    (the caller must fall back to the int64 reference path).
+    """
+    bound = max_a * max_b * max(k, 1)
+    if bound < EXACT_SGEMM_BOUND:
+        return np.float32
+    if bound < EXACT_DGEMM_BOUND:
+        return np.float64
+    return None
+
+_INT32_MAX = float(np.iinfo(np.int32).max)
+_INT32_MIN = float(np.iinfo(np.int32).min)
+
+#: Module-level integer-GEMM backend: "blas" (float64 dgemm, exact under
+#: :data:`EXACT_DGEMM_BOUND`) or "int64" (the historical reference path).
+_INTEGER_BACKEND = "blas"
+
+
+def set_integer_backend(backend: str) -> str:
+    """Select the integer-GEMM backend; returns the previous setting."""
+    global _INTEGER_BACKEND
+    if backend not in ("blas", "int64"):
+        raise ValueError("integer backend must be 'blas' or 'int64'")
+    previous = _INTEGER_BACKEND
+    _INTEGER_BACKEND = backend
+    return previous
+
+
+@contextlib.contextmanager
+def integer_backend(backend: str):
+    """Context manager pinning the integer-GEMM backend (tests/benchmarks)."""
+    previous = set_integer_backend(backend)
+    try:
+        yield
+    finally:
+        set_integer_backend(previous)
 
 
 @dataclass(frozen=True)
@@ -108,15 +180,163 @@ def variant_for_input(precision: Precision | str) -> GemmVariant:
     return gemm_variant(mapping[precision])
 
 
-def _to_accumulator(x: np.ndarray, acc: Precision) -> np.ndarray:
-    if acc.is_integer:
-        return np.asarray(x, dtype=np.int64)  # wide host accumulator; overflow checked below
-    return np.asarray(x, dtype=np.float64 if acc is Precision.FP64 else np.float32)
+class QuantizedOperand:
+    """A matrix quantized once to a GEMM input precision.
+
+    Wrapping an operand amortizes three per-call costs of
+    :func:`gemm_mixed` across every tile GEMM that reads the matrix:
+
+    * quantization onto the input format's value grid,
+    * the float64 cast the BLAS backend multiplies with, and
+    * the ``max|.|`` scan backing the analytic overflow/exactness bounds.
+
+    Slicing (``q[rows, cols]``) returns a view-backed operand sharing
+    the parent's caches, so the Build phase quantizes the genotype
+    matrix exactly once no matter how many (tile x SNP-block) products
+    are taken from it.
+    """
+
+    __slots__ = ("array", "precision", "_floats", "_max_abs")
+
+    def __init__(self, data: np.ndarray, precision: Precision | str) -> None:
+        self.precision = Precision.from_string(precision)
+        self.array = quantize(np.asarray(data), self.precision)
+        self._floats: dict[type, np.ndarray] = {}
+        self._max_abs: float | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def wrap(cls, x: "np.ndarray | QuantizedOperand",
+             precision: Precision | str) -> "QuantizedOperand":
+        """Wrap ``x``, reusing it when already quantized to ``precision``."""
+        precision = Precision.from_string(precision)
+        if isinstance(x, QuantizedOperand):
+            if x.precision is precision:
+                return x
+            return cls(np.asarray(x.array), precision)
+        return cls(x, precision)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    def as_float(self, dtype: type = np.float64) -> np.ndarray:
+        """The quantized values in a float dtype (cached; fed to BLAS)."""
+        cached = self._floats.get(dtype)
+        if cached is None:
+            if self.array.dtype == dtype:
+                cached = self.array
+            else:
+                cached = np.asarray(self.array, dtype=dtype)
+            self._floats[dtype] = cached
+        return cached
+
+    def as_float64(self) -> np.ndarray:
+        """The quantized values as float64 (cached)."""
+        return self.as_float(np.float64)
+
+    def max_abs(self) -> float:
+        """Cached ``max|.|`` of the quantized values (overflow bounds)."""
+        if self._max_abs is None:
+            if not self.array.size:
+                self._max_abs = 0.0
+            elif np.issubdtype(self.array.dtype, np.integer):
+                # scan the narrow integer storage; abs() on int8 would
+                # overflow at -128, so take |min|/|max| in python floats
+                self._max_abs = max(abs(float(self.array.min())),
+                                    abs(float(self.array.max())))
+            else:
+                f = self.as_float64()
+                self._max_abs = float(np.max(np.abs(f)))
+        return self._max_abs
+
+    def __getitem__(self, idx) -> "QuantizedOperand":
+        """View-backed slice sharing the parent's caches.
+
+        The parent's ``max|.|`` is kept as a (conservative) bound for
+        the slice — it only ever over-estimates, which is safe for both
+        the overflow and the exactness checks.
+        """
+        view = QuantizedOperand.__new__(QuantizedOperand)
+        view.precision = self.precision
+        view.array = self.array[idx]
+        view._floats = {dt: f[idx] for dt, f in self._floats.items()}
+        view._max_abs = self._max_abs
+        return view
+
+    @property
+    def T(self) -> "QuantizedOperand":
+        """Transposed view sharing the parent's caches."""
+        view = QuantizedOperand.__new__(QuantizedOperand)
+        view.precision = self.precision
+        view.array = self.array.T
+        view._floats = {dt: f.T for dt, f in self._floats.items()}
+        view._max_abs = self._max_abs
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuantizedOperand({self.shape}, {self.precision})"
+
+
+def _check_int32_overflow(prod: np.ndarray, max_a: float, max_b: float,
+                          k: int) -> None:
+    """Raise if the emulated INT32 accumulator would have overflowed.
+
+    The analytic bound ``max|a| * max|b| * k`` proves safety without
+    touching the product: genotypes in {0, 1, 2} with the default
+    ``snp_block=4096`` give ``2*2*4096 = 16384``, nowhere near ``2**31``,
+    so the hot path never pays the full ``O(m*n)`` min/max scan the
+    historical implementation performed on every tile.
+    """
+    if max_a * max_b * k <= _INT32_MAX:
+        return
+    if prod.size and (prod.max() > _INT32_MAX or prod.min() < _INT32_MIN):
+        raise OverflowError(
+            "INT32 accumulator overflow in integer GEMM; "
+            "reduce the inner dimension per tile (the paper tiles the "
+            "SNP dimension so partial sums stay in range)"
+        )
+
+
+def _integer_product(qa: QuantizedOperand, qb: QuantizedOperand,
+                     transa: bool, transb: bool) -> np.ndarray:
+    """Exact integer product ``op(A) @ op(B)`` in a float container.
+
+    Dispatches to sgemm/dgemm at the narrowest float dtype whose
+    partial-sum bound proves exactness (sgemm for genotype-scale data);
+    falls back to the int64 reference path otherwise or when pinned via
+    :func:`integer_backend`.  The returned values are exact integers
+    whatever the container dtype.
+    """
+    k = (qa.shape[0] if transa else qa.shape[-1])
+    blas_dtype = integer_gemm_dtype(qa.max_abs(), qb.max_abs(), k)
+    if _INTEGER_BACKEND == "blas" and blas_dtype is not None:
+        fa = qa.as_float(blas_dtype)
+        fb = qb.as_float(blas_dtype)
+        if transa:
+            fa = fa.T
+        if transb:
+            fb = fb.T
+        prod = fa @ fb  # sgemm/dgemm; exact under the analytic bound
+    else:
+        ia = np.asarray(qa.array, dtype=np.int64)
+        ib = np.asarray(qb.array, dtype=np.int64)
+        if transa:
+            ia = ia.T
+        if transb:
+            ib = ib.T
+        prod = (ia @ ib).astype(np.float64)
+    _check_int32_overflow(prod, qa.max_abs(), qb.max_abs(), k)
+    return prod
+
+
+def _float_accumulator_dtype(acc: Precision) -> type:
+    return np.float64 if acc is Precision.FP64 else np.float32
 
 
 def gemm_mixed(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: np.ndarray | QuantizedOperand,
+    b: np.ndarray | QuantizedOperand,
     c: np.ndarray | None = None,
     *,
     variant: GemmVariant | str = "FP32",
@@ -127,9 +347,10 @@ def gemm_mixed(
 ) -> np.ndarray:
     """Mixed-precision ``C = alpha * op(A) @ op(B) + beta * C``.
 
-    Operands are quantized to the variant's input precision, the
-    product is accumulated in the variant's accumulation precision, and
-    the result is rounded to the output precision.
+    Operands are quantized to the variant's input precision (skipped
+    when a matching :class:`QuantizedOperand` is passed), the product is
+    accumulated in the variant's accumulation precision, and the result
+    is rounded to the output precision.
 
     For the integer variant the computation is exact provided the INT32
     accumulator does not overflow; an overflow raises ``OverflowError``
@@ -139,29 +360,36 @@ def gemm_mixed(
     if isinstance(variant, str):
         variant = gemm_variant(variant)
 
-    op_a = np.asarray(a).T if transa else np.asarray(a)
-    op_b = np.asarray(b).T if transb else np.asarray(b)
-    if op_a.shape[-1] != op_b.shape[0]:
+    qa = QuantizedOperand.wrap(a, variant.input_precision)
+    qb = QuantizedOperand.wrap(b, variant.input_precision)
+    inner_a = qa.shape[0] if transa else qa.shape[-1]
+    inner_b = qb.shape[-1] if transb else qb.shape[0]
+    if inner_a != inner_b:
+        op_shape_a = qa.shape[::-1] if transa else qa.shape
+        op_shape_b = qb.shape[::-1] if transb else qb.shape
         raise ValueError(
-            f"inner dimensions do not match: {op_a.shape} @ {op_b.shape}"
+            f"inner dimensions do not match: {op_shape_a} @ {op_shape_b}"
         )
 
-    qa = quantize(op_a, variant.input_precision)
-    qb = quantize(op_b, variant.input_precision)
-
     acc = variant.accumulate_precision
-    prod = _to_accumulator(qa, acc) @ _to_accumulator(qb, acc)
-
     if acc.is_integer:
-        info = np.iinfo(np.int32)
-        if prod.size and (prod.max() > info.max or prod.min() < info.min):
-            raise OverflowError(
-                "INT32 accumulator overflow in integer GEMM; "
-                "reduce the inner dimension per tile (the paper tiles the "
-                "SNP dimension so partial sums stay in range)"
-            )
-        result = alpha * prod.astype(np.float64)
+        prod = _integer_product(qa, qb, transa, transb)
+        if (alpha == 1.0 and beta == 0.0
+                and variant.output_precision is Precision.INT32):
+            # overflow was checked above and the values are integral, so
+            # the INT32 store rounding is a plain cast — skip the
+            # rint/clip float roundtrip of the generic quantizer
+            return prod.astype(np.int32)
+        result = alpha * np.asarray(prod, dtype=np.float64)
     else:
+        dtype = _float_accumulator_dtype(acc)
+        fa = np.asarray(qa.array, dtype=dtype)
+        fb = np.asarray(qb.array, dtype=dtype)
+        if transa:
+            fa = fa.T
+        if transb:
+            fb = fb.T
+        prod = fa @ fb  # sgemm/dgemm at the accumulation precision
         # round the accumulated product once, as the hardware does on store
         result = alpha * prod.astype(np.float64)
 
@@ -173,8 +401,21 @@ def gemm_mixed(
     return quantize(result, variant.output_precision)
 
 
+def _mirror_triangle(tri: np.ndarray) -> np.ndarray:
+    """Fill the full symmetric matrix from one computed triangle.
+
+    ``tri`` must have its unreferenced triangle zeroed — true both for
+    freshly allocated ``?syrk`` output and for ``tril``/``triu`` —
+    which is what makes ``tri + tri.T`` the exact mirror.
+    """
+    diagonal = np.diagonal(tri).copy()
+    full = tri + tri.T
+    np.fill_diagonal(full, diagonal)
+    return full
+
+
 def syrk_mixed(
-    a: np.ndarray,
+    a: np.ndarray | QuantizedOperand,
     c: np.ndarray | None = None,
     *,
     variant: GemmVariant | str = "FP32",
@@ -188,27 +429,53 @@ def syrk_mixed(
     ``C = alpha * A @ A.T + beta * C`` (``trans=False``) or
     ``C = alpha * A.T @ A + beta * C`` (``trans=True``), with the same
     quantize/accumulate/round pipeline as :func:`gemm_mixed`.  Only the
-    requested triangle is guaranteed meaningful, but for convenience the
-    full symmetric matrix is returned (both triangles are filled).
+    requested triangle is *computed* — the update runs through the BLAS
+    ``?syrk`` routine at half the flops of a full GEMM — and the result
+    is mirrored exactly into the other triangle on return, so the full
+    symmetric matrix is available for convenience.
     """
     if isinstance(variant, str):
         variant = gemm_variant(variant)
-    a_arr = np.asarray(a)
-    op = a_arr.T if trans else a_arr
-    full = gemm_mixed(
-        op, op, c=None, variant=variant, alpha=alpha, beta=0.0, transb=True
-    )
-    full64 = np.asarray(full, dtype=np.float64)
-    # symmetrize exactly (the emulated product may carry tiny rounding
-    # asymmetry from the per-element store rounding order)
-    full64 = np.tril(full64) + np.tril(full64, -1).T if lower else (
-        np.triu(full64) + np.triu(full64, 1).T
-    )
+    q = QuantizedOperand.wrap(a, variant.input_precision)
+    acc = variant.accumulate_precision
+
+    if acc.is_integer:
+        k = q.shape[0] if trans else q.shape[-1]
+        blas_dtype = integer_gemm_dtype(q.max_abs(), q.max_abs(), k)
+        if _INTEGER_BACKEND == "blas" and blas_dtype is not None and (
+                q.array.size):
+            op = q.as_float(blas_dtype)
+            if trans:
+                op = op.T
+            syrk_fn = (_scipy_blas.dsyrk if blas_dtype is np.float64
+                       else _scipy_blas.ssyrk)
+            tri = np.asarray(syrk_fn(1.0, op, lower=lower), dtype=np.float64)
+        else:
+            iop = np.asarray(q.array, dtype=np.int64)
+            if trans:
+                iop = iop.T
+            prod = (iop @ iop.T).astype(np.float64)
+            tri = np.tril(prod) if lower else np.triu(prod)
+        _check_int32_overflow(tri, q.max_abs(), q.max_abs(), k)
+        full = _mirror_triangle(tri)
+    else:
+        dtype = _float_accumulator_dtype(acc)
+        op = np.asarray(q.array, dtype=dtype)
+        if trans:
+            op = op.T
+        if op.size:
+            syrk_fn = _scipy_blas.dsyrk if dtype is np.float64 else _scipy_blas.ssyrk
+            tri = np.asarray(syrk_fn(1.0, op, lower=lower), dtype=np.float64)
+        else:
+            tri = np.zeros((op.shape[0], op.shape[0]), dtype=np.float64)
+        full = _mirror_triangle(tri)
+
+    result = alpha * full
     if beta != 0.0:
         if c is None:
             raise ValueError("beta != 0 requires C")
-        full64 = full64 + beta * np.asarray(c, dtype=np.float64)
-    return quantize(full64, variant.output_precision)
+        result = result + beta * np.asarray(c, dtype=np.float64)
+    return quantize(result, variant.output_precision)
 
 
 def gemm_flop_count(m: int, n: int, k: int) -> int:

@@ -42,6 +42,11 @@ def quantize(x: np.ndarray, precision: Precision | str) -> np.ndarray:
     result back to float64 yields exactly the values low-precision
     hardware would have stored.
 
+    When the input is already on the target grid in the target dtype
+    (float64 input for FP64, int8 input for INT8, ...), the input array
+    itself may be returned without copying — callers that need an
+    independent buffer must copy explicitly.
+
     For INT8 the input is rounded and clipped to [-128, 127]; use
     :func:`quantize_int8` when a scale factor must be recorded.
     """
@@ -59,11 +64,21 @@ def quantize(x: np.ndarray, precision: Precision | str) -> np.ndarray:
     if precision in (Precision.FP8_E4M3, Precision.FP8_E5M2):
         return quantize_fp8(x, precision)
     if precision is Precision.INT8:
+        x = np.asarray(x)
+        if x.dtype == np.int8:
+            return x  # already on the INT8 grid: no float roundtrip
+        if np.issubdtype(x.dtype, np.integer):
+            return np.clip(x, -128, 127).astype(np.int8)
         x64 = np.asarray(x, dtype=np.float64)
         return np.clip(np.rint(x64), -128, 127).astype(np.int8)
     if precision is Precision.INT32:
-        x64 = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)
         info = np.iinfo(np.int32)
+        if x.dtype in (np.int32, np.int8, np.int16, np.uint8, np.uint16):
+            return np.asarray(x, dtype=np.int32)  # exactly representable
+        if np.issubdtype(x.dtype, np.integer):
+            return np.clip(x, info.min, info.max).astype(np.int32)
+        x64 = np.asarray(x, dtype=np.float64)
         return np.clip(np.rint(x64), info.min, info.max).astype(np.int32)
     raise ValueError(f"unsupported precision {precision}")
 

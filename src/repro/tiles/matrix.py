@@ -91,6 +91,26 @@ class TileMatrix:
         return out
 
     @classmethod
+    def empty(
+        cls,
+        rows: int,
+        cols: int,
+        tile_size: int,
+        precision: Precision | str = Precision.FP64,
+        symmetric: bool = False,
+    ) -> "TileMatrix":
+        """Tile container with *no* tiles materialized.
+
+        This is the streaming-Build entry point: the Build phase creates
+        an empty container and :meth:`set_tile`\\ s finished tiles into it
+        one by one, so no full dense staging array ever exists.  Tiles
+        that are read before being written materialize as zeros.
+        """
+        layout = TileLayout(rows=rows, cols=cols, tile_size=tile_size)
+        return cls(layout, precision=Precision.from_string(precision),
+                   symmetric=symmetric)
+
+    @classmethod
     def zeros(
         cls,
         rows: int,
@@ -99,11 +119,8 @@ class TileMatrix:
         precision: Precision | str = Precision.FP64,
         symmetric: bool = False,
     ) -> "TileMatrix":
-        """All-zero tiled matrix."""
-        return cls.from_dense(
-            np.zeros((rows, cols)), tile_size, Precision.from_string(precision),
-            symmetric=symmetric,
-        )
+        """All-zero tiled matrix (tiles materialize lazily on access)."""
+        return cls.empty(rows, cols, tile_size, precision, symmetric=symmetric)
 
     # ------------------------------------------------------------------
     # shape info
@@ -204,6 +221,22 @@ class TileMatrix:
         return out.astype(dtype)
 
     def norm(self, ord: str | int = "fro") -> float:
+        """Matrix norm; the Frobenius norm is computed tile-wise.
+
+        Accumulating ``||A_ij||_F^2`` per stored tile (counting mirrored
+        off-diagonal tiles twice for symmetric storage) avoids the dense
+        materialization the adaptive-precision rule would otherwise pay
+        on every streamed Build.
+        """
+        if ord == "fro":
+            total = 0.0
+            for (i, j) in self._iter_stored():
+                tile = self._tiles.get((i, j))
+                if tile is None:
+                    continue  # unmaterialized tiles are implicit zeros
+                sq = float(np.linalg.norm(tile.to_float64())) ** 2
+                total += sq if (not self.symmetric or i == j) else 2.0 * sq
+            return float(np.sqrt(total))
         return float(np.linalg.norm(self.to_dense(), ord=ord))
 
     def nbytes(self) -> int:

@@ -1,0 +1,183 @@
+"""Tests for the streaming, thread-parallel Build pipeline.
+
+The rebuilt Build phase must (1) produce kernels bitwise identical to
+the historical dense-staging path at every storage precision, (2) never
+materialize the full dense FP64 kernel for the symmetric training case,
+and (3) give identical results whether the tile loop runs sequentially
+or on a thread pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distance.build import BuildStats, KernelBuilder
+from repro.distance.euclidean import squared_euclidean_gemm
+from repro.distance.kernels import gaussian_kernel
+from repro.precision.formats import Precision
+from repro.tiles.adaptive import AdaptivePrecisionRule, candidates_for_gpu
+from repro.tiles.matrix import TileMatrix
+
+
+@pytest.fixture
+def genotypes(small_genotypes):
+    return small_genotypes[:72]
+
+
+def _seed_path_training(genotypes, gamma, tile_size, storage_precision,
+                        adaptive_rule=None):
+    """The historical Build: dense FP64 staging + ``from_dense`` re-tiling."""
+    dense = gaussian_kernel(squared_euclidean_gemm(genotypes), gamma)
+    np.fill_diagonal(dense, 1.0)
+    if adaptive_rule is not None:
+        from repro.tiles.adaptive import decide_tile_precisions
+
+        tiled = TileMatrix.from_dense(dense, tile_size, Precision.FP64,
+                                      symmetric=True)
+        pmap = decide_tile_precisions(tiled, adaptive_rule)
+        tiled.apply_precision_map(pmap)
+        return tiled
+    return TileMatrix.from_dense(dense, tile_size, storage_precision,
+                                 symmetric=True)
+
+
+class TestSeedPathRegression:
+    @pytest.mark.parametrize("storage", [
+        Precision.FP64, Precision.FP32, Precision.FP16, Precision.FP8_E4M3,
+    ])
+    def test_training_bitwise_identical_to_seed_path(self, genotypes, storage):
+        builder = KernelBuilder(gamma=0.03, tile_size=16,
+                                storage_precision=storage, workers=1)
+        streamed = builder.build_training(genotypes).to_dense()
+        reference = _seed_path_training(genotypes, 0.03, 16, storage).to_dense()
+        np.testing.assert_array_equal(streamed, reference)
+
+    def test_training_adaptive_matches_seed_path(self, genotypes):
+        rule = AdaptivePrecisionRule(candidates=candidates_for_gpu("A100"))
+        builder = KernelBuilder(gamma=0.2, tile_size=16, adaptive_rule=rule,
+                                workers=1)
+        result = builder.build_training(genotypes)
+        reference = _seed_path_training(genotypes, 0.2, 16, Precision.FP32,
+                                        adaptive_rule=rule)
+        np.testing.assert_array_equal(result.to_dense(), reference.to_dense())
+        # same mosaic, tile for tile
+        for (i, j), p in result.precision_map.items():
+            assert reference.tile_precision(i, j) is p
+
+    def test_cross_bitwise_identical_to_reference(self, genotypes):
+        builder = KernelBuilder(gamma=0.03, tile_size=16, workers=1)
+        test, train = genotypes[:24], genotypes[24:]
+        streamed = builder.build_cross(test, train).to_dense()
+        reference = gaussian_kernel(squared_euclidean_gemm(test, train), 0.03)
+        np.testing.assert_array_equal(streamed, reference)
+
+
+class TestNoDenseMaterialization:
+    def test_training_never_calls_from_dense(self, genotypes, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("streamed Build must not stage a dense matrix")
+
+        monkeypatch.setattr(TileMatrix, "from_dense", classmethod(boom))
+        builder = KernelBuilder(gamma=0.03, tile_size=16, workers=1)
+        result = builder.build_training(genotypes)
+        assert isinstance(result.kernel, TileMatrix)
+
+    def test_adaptive_training_never_calls_from_dense(self, genotypes,
+                                                      monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("streamed Build must not stage a dense matrix")
+
+        monkeypatch.setattr(TileMatrix, "from_dense", classmethod(boom))
+        rule = AdaptivePrecisionRule(candidates=candidates_for_gpu("A100"))
+        builder = KernelBuilder(gamma=0.2, tile_size=16, adaptive_rule=rule,
+                                workers=1)
+        result = builder.build_training(genotypes)
+        assert result.precision_map is not None
+
+    def test_allocation_accounting_peak_at_most_one_tile_row(self, genotypes):
+        n = genotypes.shape[0]
+        tile_size = 16
+        builder = KernelBuilder(gamma=0.03, tile_size=tile_size, workers=1)
+        result = builder.build_training(genotypes)
+        stats = result.stats
+        assert isinstance(stats, BuildStats)
+        assert stats.tile_tasks > 0
+        # acceptance bound: peak dense temporary <= one tile row of K
+        assert stats.max_dense_temp_elements <= tile_size * n
+        # no dense staging array for the training kernel
+        assert stats.dense_staging_elements == 0
+
+    def test_cross_build_staging_is_the_output(self, genotypes):
+        builder = KernelBuilder(gamma=0.03, tile_size=16, workers=1)
+        result = builder.build_cross(genotypes[:24], genotypes[24:])
+        assert result.stats.dense_staging_elements == 24 * (genotypes.shape[0] - 24)
+
+
+class TestThreadParallelBuild:
+    def test_threaded_training_identical_to_sequential(self, genotypes):
+        sequential = KernelBuilder(gamma=0.03, tile_size=8, workers=1)
+        threaded = KernelBuilder(gamma=0.03, tile_size=8, workers=4)
+        k1 = sequential.build_training(genotypes)
+        k4 = threaded.build_training(genotypes)
+        np.testing.assert_array_equal(k1.to_dense(), k4.to_dense())
+        assert k4.stats.workers == 4
+        assert k1.flops == k4.flops
+        assert k1.flops_by_precision == k4.flops_by_precision
+
+    def test_threaded_adaptive_identical_to_sequential(self, genotypes):
+        rule = AdaptivePrecisionRule(candidates=candidates_for_gpu("GH200"))
+        sequential = KernelBuilder(gamma=0.2, tile_size=8, adaptive_rule=rule,
+                                   workers=1)
+        threaded = KernelBuilder(gamma=0.2, tile_size=8, adaptive_rule=rule,
+                                 workers=4)
+        r1 = sequential.build_training(genotypes)
+        r4 = threaded.build_training(genotypes)
+        np.testing.assert_array_equal(r1.to_dense(), r4.to_dense())
+        assert r1.precision_map == r4.precision_map
+
+    def test_threaded_cross_identical_to_sequential(self, genotypes):
+        test, train = genotypes[:24], genotypes[24:]
+        k1 = KernelBuilder(gamma=0.03, tile_size=8, workers=1).build_cross(
+            test, train)
+        k4 = KernelBuilder(gamma=0.03, tile_size=8, workers=4).build_cross(
+            test, train)
+        np.testing.assert_array_equal(k1.to_dense(), k4.to_dense())
+
+    def test_threaded_with_confounders(self, genotypes, rng):
+        confounders = rng.normal(size=(genotypes.shape[0], 3))
+        k1 = KernelBuilder(gamma=0.03, tile_size=8, workers=1).build_training(
+            genotypes, confounders)
+        k4 = KernelBuilder(gamma=0.03, tile_size=8, workers=4).build_training(
+            genotypes, confounders)
+        np.testing.assert_array_equal(k1.to_dense(), k4.to_dense())
+
+    def test_default_worker_resolution(self, genotypes):
+        builder = KernelBuilder(gamma=0.03, tile_size=16)
+        result = builder.build_training(genotypes)
+        assert result.stats.workers >= 1
+
+
+class TestStreamingContainer:
+    def test_empty_plus_set_tile_roundtrip(self, rng):
+        dense = rng.normal(size=(40, 40))
+        sym = dense + dense.T
+        tm = TileMatrix.empty(40, 40, 16, Precision.FP64, symmetric=True)
+        layout = tm.layout
+        for i, j in layout.iter_lower_tiles():
+            rs, cs = layout.tile_slice(i, j)
+            tm.set_tile(i, j, sym[rs, cs])
+        np.testing.assert_array_equal(tm.to_dense(), sym)
+
+    def test_fro_norm_without_dense(self, rng):
+        dense = rng.normal(size=(30, 20))
+        tm = TileMatrix.from_dense(dense, 8)
+        assert tm.norm("fro") == pytest.approx(np.linalg.norm(dense))
+
+    def test_symmetric_fro_norm_counts_mirrored_tiles(self, rng):
+        a = rng.normal(size=(32, 32))
+        sym = a + a.T
+        tm = TileMatrix.from_dense(sym, 8, symmetric=True)
+        assert tm.norm("fro") == pytest.approx(np.linalg.norm(sym))
+
+    def test_empty_norm_is_zero(self):
+        tm = TileMatrix.empty(16, 16, 8)
+        assert tm.norm("fro") == 0.0
