@@ -6,10 +6,10 @@ paper points out (Sec. V-B3): once the kernel matrix ``K + alpha*I`` is
 factorized, every additional phenotype costs only two triangular
 solves — unlike deep-learning approaches that retrain per phenotype.
 
-This example fits the KRR model once on the first disease of a
-synthetic cohort, then solves for the remaining phenotypes by reusing
-the factors, and verifies the reused solutions match a from-scratch
-Associate phase.
+This example runs a tile-native :class:`repro.api.KRRSession` once
+(Build + Associate) on the first disease of a synthetic cohort, then
+solves for the remaining phenotypes by reusing the factors, and
+verifies the reused solutions match a from-scratch Associate phase.
 
 Usage::
 
@@ -22,10 +22,8 @@ import time
 
 import numpy as np
 
+from repro.api import KRRConfig, KRRSession, pearson_correlation
 from repro.data import make_ukb_like_cohort
-from repro.gwas.config import KRRConfig
-from repro.gwas.krr import KernelRidgeRegressionGWAS
-from repro.gwas.metrics import pearson_correlation
 
 
 def main() -> None:
@@ -33,30 +31,30 @@ def main() -> None:
     split = cohort.split(train_fraction=0.8, seed=0)
     train, test = split.train, split.test
 
-    model = KernelRidgeRegressionGWAS(KRRConfig(tile_size=50))
+    session = KRRSession(KRRConfig(tile_size=50))
 
     print("Fitting KRR on the first phenotype (Build + Associate) ...")
     t0 = time.perf_counter()
-    model.fit(train.genotypes, train.phenotypes[:, :1], train.confounders)
+    session.fit(train.genotypes, train.phenotypes[:, :1], train.confounders)
     fit_time = time.perf_counter() - t0
     print(f"  fit time: {fit_time:.2f} s "
-          f"(Build {model.model_.phase_flops['build']:.2e} ops, "
-          f"Associate {model.model_.phase_flops['associate']:.2e} ops)")
+          f"(Build {session.phase_flops['build']:.2e} ops, "
+          f"Associate {session.phase_flops['associate']:.2e} ops)")
 
     print("Solving the remaining phenotypes by reusing the Cholesky factors ...")
     t0 = time.perf_counter()
-    extra_weights = model.solve_additional_phenotypes(train.phenotypes[:, 1:])
+    extra_weights = session.solve_additional_phenotypes(train.phenotypes[:, 1:])
     reuse_time = time.perf_counter() - t0
     print(f"  reuse time for {extra_weights.shape[1]} phenotypes: {reuse_time:.3f} s")
 
     # verify against a from-scratch fit on all phenotypes
-    reference = KernelRidgeRegressionGWAS(KRRConfig(tile_size=50))
+    reference = KRRSession(KRRConfig(tile_size=50))
     reference.fit(train.genotypes, train.phenotypes, train.confounders)
     max_diff = float(np.max(np.abs(
-        reference.model_.weights[:, 1:] - extra_weights)))
+        reference.weights_[:, 1:] - extra_weights)))
     print(f"  max |difference| vs from-scratch weights: {max_diff:.2e}")
 
-    predictions = model.predict(test.genotypes, test.confounders)
+    predictions = session.predict(test.genotypes, test.confounders)
     rho = pearson_correlation(test.phenotypes[:, 0], predictions[:, 0])
     print(f"Held-out Pearson correlation (first phenotype): {rho:.3f}")
     print("The factorization is phenotype-independent: adding traits to a "

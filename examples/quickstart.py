@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import GWASWorkflow, KRRConfig, PrecisionPlan, RRConfig
 from repro.data import make_ukb_like_cohort
 from repro.experiments.report import format_table
-from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
-from repro.gwas.workflow import GWASWorkflow
 
 
 def main() -> None:

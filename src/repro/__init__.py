@@ -29,7 +29,8 @@ The package is organised around the paper's three-phase KRR workflow
 ``repro.gwas``
     The paper's contribution: ridge regression (RR) and kernel ridge
     regression (KRR) multivariate GWAS with mixed-precision plans,
-    metrics, and cross-validation.
+    metrics, and cross-validation, organised around the tile-native
+    solver sessions (``repro.api`` is the stable facade).
 ``repro.data``
     Synthetic genotype/phenotype generation (LD-block and coalescent
     simulators, UK-BioBank-like cohorts) replacing the restricted-access
@@ -50,11 +51,14 @@ from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
 from repro.gwas.krr import KernelRidgeRegressionGWAS
 from repro.gwas.metrics import mspe, pearson_correlation
 from repro.gwas.ridge import RidgeRegressionGWAS
+from repro.gwas.session import KRRSession, RRSession
 
 __all__ = [
     "Precision",
     "GWASDataset",
     "TrainTestSplit",
+    "KRRSession",
+    "RRSession",
     "RidgeRegressionGWAS",
     "KernelRidgeRegressionGWAS",
     "KRRConfig",

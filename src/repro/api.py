@@ -1,0 +1,51 @@
+"""repro.api — the stable public facade of the reproduction.
+
+The solver API is organised around tile-native **sessions**
+(:class:`~repro.gwas.session.KRRSession`,
+:class:`~repro.gwas.session.RRSession`): one object owns the phase
+pipeline (Build → Associate → Predict) and keeps the kernel matrix
+tiled end to end, with zero dense n×n round-trips (see
+``docs/api.md`` for the memory contract and the migration guide from
+the legacy ``fit``/``predict`` estimators).
+
+Typical use::
+
+    from repro.api import KRRSession, KRRConfig, PrecisionPlan
+
+    session = KRRSession(KRRConfig(
+        tile_size=64, precision_plan=PrecisionPlan.adaptive_fp16()))
+    session.fit(train_genotypes, train_phenotypes)
+    predictions = session.predict(test_genotypes)
+"""
+
+from repro.data.dataset import GWASDataset, TrainTestSplit
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.gwas.cv import CrossValidationResult, grid_search_cv
+from repro.gwas.metrics import (
+    accuracy_report,
+    mean_squared_prediction_error,
+    mspe,
+    pearson_correlation,
+)
+from repro.gwas.session import KRRSession, RRSession
+from repro.gwas.workflow import GWASWorkflow, WorkflowResult
+from repro.precision.formats import Precision
+
+__all__ = [
+    "KRRSession",
+    "RRSession",
+    "KRRConfig",
+    "RRConfig",
+    "PrecisionPlan",
+    "Precision",
+    "GWASDataset",
+    "TrainTestSplit",
+    "GWASWorkflow",
+    "WorkflowResult",
+    "grid_search_cv",
+    "CrossValidationResult",
+    "mspe",
+    "mean_squared_prediction_error",
+    "pearson_correlation",
+    "accuracy_report",
+]

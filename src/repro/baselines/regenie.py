@@ -20,6 +20,7 @@ comparison.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,7 +78,7 @@ class RegenieLikeRegression:
         if config is None:
             config = RegenieConfig()
         if overrides:
-            config = RegenieConfig(**{**config.__dict__, **overrides})
+            config = dataclasses.replace(config, **overrides)
         self.config = config
         self._level0_betas: list[list[np.ndarray]] = []
         self._level1_beta: np.ndarray | None = None

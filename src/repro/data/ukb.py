@@ -16,6 +16,7 @@ prevalences so that case/control imbalance is realistic.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -94,7 +95,7 @@ def make_ukb_like_cohort(config: UKBLikeCohort | None = None, **overrides) -> GW
     if config is None:
         config = UKBLikeCohort()
     if overrides:
-        config = UKBLikeCohort(**{**config.__dict__, **overrides})
+        config = dataclasses.replace(config, **overrides)
 
     rng = np.random.default_rng(config.seed)
 

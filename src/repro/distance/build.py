@@ -153,6 +153,55 @@ def _windowed_map(fn: Callable, tasks: Sequence, workers: int,
 
 
 @dataclass
+class _OperandContext:
+    """Shared read-only operand state of one kernel computation.
+
+    Prepared once per Build/Predict call (quantization, float casts,
+    squared norms, confounder Gram inputs) and then read by every row
+    block — whether the rows are consumed tile-by-tile by the streamed
+    training Build or batch-by-batch by the streamed Predict phase.
+    """
+
+    n1: int
+    n2: int
+    ns: int
+    q1: QuantizedOperand
+    q2: QuantizedOperand
+    d1: np.ndarray
+    d2: np.ndarray
+    qc1: QuantizedOperand | None
+    qc2: QuantizedOperand | None
+    e1: np.ndarray | None
+    e2: np.ndarray | None
+    n_conf: int
+    snp_variant: object
+    conf_variant: object
+    fuse_snp_blocks: bool
+
+
+@dataclass
+class CrossRowBlock:
+    """One streamed row batch of the rectangular cross kernel.
+
+    Attributes
+    ----------
+    rows:
+        Row slice of the test cohort this block covers.
+    kernel:
+        ``(batch, n_train)`` dense kernel block (float64 container).
+    flops:
+        Operation count of the block.
+    flops_by_precision:
+        The block's operation count split by compute precision.
+    """
+
+    rows: slice
+    kernel: np.ndarray
+    flops: float
+    flops_by_precision: dict[Precision, float] = field(default_factory=dict)
+
+
+@dataclass
 class KernelBuilder:
     """Configurable Build-phase driver.
 
@@ -301,18 +350,10 @@ class KernelBuilder:
                                     symmetric)
         return k, flops, {Precision.INT8: flops}
 
-    def _stream_tiles(self, g1: np.ndarray, g2: np.ndarray,
-                      c1: np.ndarray | None, c2: np.ndarray | None,
-                      symmetric: bool,
-                      consume: Callable[[tuple[int, int], np.ndarray], None],
-                      flops_box: list, by_prec: dict, stats: BuildStats) -> None:
-        """Run the tile loop, streaming finished kernel tiles to ``consume``.
-
-        Tile tasks are independent (each reads shared quantized operands
-        and writes only its own temporaries), so they run on a thread
-        pool; results are consumed in completion order on the caller's
-        thread, which keeps ``TileMatrix`` mutation single-threaded.
-        """
+    def _prepare_operands(self, g1: np.ndarray, g2: np.ndarray,
+                          c1: np.ndarray | None, c2: np.ndarray | None,
+                          symmetric: bool) -> _OperandContext:
+        """Quantize/cache the GEMM operands once per kernel computation."""
         if g1.shape[1] != g2.shape[1]:
             raise ValueError("genotype matrices must share the SNP dimension")
         if (c1 is None) != (c2 is None):
@@ -320,7 +361,6 @@ class KernelBuilder:
 
         n1, n2 = g1.shape[0], g2.shape[0]
         ns = g1.shape[1]
-        layout = TileLayout(rows=n1, cols=n2, tile_size=self.tile_size)
 
         snp_variant = variant_for_input(
             self.snp_precision if self.snp_precision in (
@@ -331,7 +371,7 @@ class KernelBuilder:
             Precision.FP32 if self.confounder_precision is Precision.FP32
             else Precision.FP64)
 
-        # Quantize each operand side once; tile tasks slice shared views.
+        # Quantize each operand side once; row blocks slice shared views.
         q1 = QuantizedOperand(g1, snp_variant.input_precision)
         q2 = q1 if symmetric else QuantizedOperand(g2, snp_variant.input_precision)
         # materialize the float/max|.| caches before threading so the
@@ -368,24 +408,6 @@ class KernelBuilder:
             e1 = e2 = None
             n_conf = 0
 
-        # One task per block row of tiles: the Gram product then runs as
-        # a (tile_size x ns) @ (ns x row_width) dgemm — large enough for
-        # BLAS to reach peak — while the peak dense temporary stays at
-        # one tile row.  For the symmetric case a row task covers only
-        # the lower-triangle width.  Elementwise assembly (norm folding,
-        # clamp, exponentiation) is identical per element regardless of
-        # the task granularity, and the INT8 Gram is exact integer
-        # arithmetic, so the produced tiles match the historical
-        # per-tile loop bit for bit.
-        tasks = list(range(layout.tile_rows))
-
-        workers = _resolve_workers(self.workers)
-        stats.workers = workers
-        stats.tile_tasks = len(tasks)
-
-        snp_block = self.snp_block
-        gamma = self.gamma
-
         # For the integer variant the SNP-block loop exists only to keep
         # the emulated INT32 accumulator in range; when the analytic
         # bound max|a|*max|b|*ns already proves the *total* accumulation
@@ -398,42 +420,143 @@ class KernelBuilder:
             snp_variant.accumulate_precision.is_integer
             and q1.max_abs() * q2.max_abs() * ns <= float(np.iinfo(np.int32).max)
         )
+        return _OperandContext(
+            n1=n1, n2=n2, ns=ns, q1=q1, q2=q2, d1=d1, d2=d2,
+            qc1=qc1, qc2=qc2, e1=e1, e2=e2, n_conf=n_conf,
+            snp_variant=snp_variant, conf_variant=conf_variant,
+            fuse_snp_blocks=fuse_snp_blocks,
+        )
+
+    def _kernel_rows(self, ctx: _OperandContext, rs: slice,
+                     cs: slice) -> np.ndarray:
+        """Dense kernel block for rows ``rs`` × columns ``cs``.
+
+        Elementwise assembly (norm folding, clamp, exponentiation) is
+        identical per element regardless of the row partitioning, and
+        the INT8 Gram is exact integer arithmetic, so any batching of
+        rows produces the same values bit for bit.
+        """
+        mb = rs.stop - rs.start
+        nb = cs.stop - cs.start
+        # --- integer (SNP) Gram contribution, blocked over SNPs
+        if ctx.fuse_snp_blocks:
+            gram = np.asarray(
+                gemm_mixed(ctx.q1[rs, :], ctx.q2[cs, :],
+                           variant=ctx.snp_variant, transb=True),
+                dtype=np.float64,
+            )
+        else:
+            gram = np.zeros((mb, nb), dtype=np.float64)
+            for s0 in range(0, ctx.ns, self.snp_block):
+                s1 = min(s0 + self.snp_block, ctx.ns)
+                gram += np.asarray(
+                    gemm_mixed(ctx.q1[rs, s0:s1], ctx.q2[cs, s0:s1],
+                               variant=ctx.snp_variant, transb=True),
+                    dtype=np.float64,
+                )
+        dist = ctx.d1[rs, None] + ctx.d2[None, cs] - 2.0 * gram
+
+        # --- confounder FP32 contribution accumulated separately
+        if ctx.qc1 is not None and ctx.n_conf > 0:
+            gram_c = np.asarray(
+                gemm_mixed(ctx.qc1[rs, :], ctx.qc2[cs, :],
+                           variant=ctx.conf_variant, transb=True),
+                dtype=np.float64,
+            )
+            dist += ctx.e1[rs, None] + ctx.e2[None, cs] - 2.0 * gram_c
+
+        np.maximum(dist, 0.0, out=dist)
+        # fused exponentiation before the row block is released
+        return gaussian_kernel(dist, self.gamma)
+
+    def _block_flops(self, ctx: _OperandContext, mb: int, nb: int,
+                     by_prec: dict[Precision, float] | None = None
+                     ) -> tuple[float, dict[Precision, float]]:
+        """Operation count of an ``mb × nb`` kernel block, split by precision."""
+        by_prec = {} if by_prec is None else by_prec
+        flops = 2.0 * mb * nb * ctx.ns
+        by_prec[self.snp_precision] = by_prec.get(self.snp_precision, 0.0) + flops
+        if ctx.n_conf > 0:
+            cf = 2.0 * mb * nb * ctx.n_conf
+            flops += cf
+            by_prec[self.confounder_precision] = (
+                by_prec.get(self.confounder_precision, 0.0) + cf)
+        return flops, by_prec
+
+    def iter_cross_rows(self, test_genotypes: np.ndarray,
+                        train_genotypes: np.ndarray,
+                        test_confounders: np.ndarray | None = None,
+                        train_confounders: np.ndarray | None = None,
+                        batch_rows: int | None = None
+                        ) -> Iterator[CrossRowBlock]:
+        """Stream the rectangular test-vs-train kernel in row batches.
+
+        This is the Predict-phase entry point of the tile-native solver
+        sessions: operands are quantized once, then ``batch_rows``
+        test individuals at a time flow through the Gram/distance/kernel
+        pipeline, so the peak cross-kernel temporary is one batch
+        instead of the full ``n_test × n_train`` panel.  The produced
+        values are identical to :meth:`build_cross` for any batching.
+        """
+        test_genotypes = np.asarray(test_genotypes)
+        train_genotypes = np.asarray(train_genotypes)
+        n1, n2 = test_genotypes.shape[0], train_genotypes.shape[0]
+        batch = n1 if batch_rows is None else max(1, int(batch_rows))
+
+        if self.kernel_type.lower() == "ibs":
+            if test_genotypes.shape[1] != train_genotypes.shape[1]:
+                raise ValueError("genotype matrices must share the SNP dimension")
+            ns = test_genotypes.shape[1]
+            for r0 in range(0, n1, batch):
+                rows = slice(r0, min(r0 + batch, n1))
+                block = ibs_kernel(test_genotypes[rows], train_genotypes)
+                flops = distance_flop_count(rows.stop - rows.start, n2, ns, False)
+                yield CrossRowBlock(rows=rows, kernel=block, flops=flops,
+                                    flops_by_precision={Precision.INT8: flops})
+            return
+
+        ctx = self._prepare_operands(test_genotypes, train_genotypes,
+                                     test_confounders, train_confounders,
+                                     symmetric=False)
+        cols = slice(0, n2)
+        for r0 in range(0, n1, batch):
+            rows = slice(r0, min(r0 + batch, n1))
+            block = self._kernel_rows(ctx, rows, cols)
+            flops, by_prec = self._block_flops(ctx, rows.stop - rows.start, n2)
+            yield CrossRowBlock(rows=rows, kernel=block, flops=flops,
+                                flops_by_precision=by_prec)
+
+    def _stream_tiles(self, g1: np.ndarray, g2: np.ndarray,
+                      c1: np.ndarray | None, c2: np.ndarray | None,
+                      symmetric: bool,
+                      consume: Callable[[tuple[int, int], np.ndarray], None],
+                      flops_box: list, by_prec: dict, stats: BuildStats) -> None:
+        """Run the tile loop, streaming finished kernel tiles to ``consume``.
+
+        Tile tasks are independent (each reads shared quantized operands
+        and writes only its own temporaries), so they run on a thread
+        pool; results are consumed in completion order on the caller's
+        thread, which keeps ``TileMatrix`` mutation single-threaded.
+
+        One task per block row of tiles: the Gram product then runs as
+        a (tile_size x ns) @ (ns x row_width) dgemm — large enough for
+        BLAS to reach peak — while the peak dense temporary stays at
+        one tile row.  For the symmetric case a row task covers only
+        the lower-triangle width.
+        """
+        ctx = self._prepare_operands(g1, g2, c1, c2, symmetric)
+        n2 = ctx.n2
+        layout = TileLayout(rows=ctx.n1, cols=n2, tile_size=self.tile_size)
+
+        tasks = list(range(layout.tile_rows))
+        workers = _resolve_workers(self.workers)
+        stats.workers = workers
+        stats.tile_tasks = len(tasks)
 
         def row_task(bi: int) -> np.ndarray:
             rs = layout.tile_slice(bi, 0)[0]
-            mb = rs.stop - rs.start
             col_end = min((bi + 1) * layout.tile_size, n2) if symmetric else n2
-            cs = slice(0, col_end)
-            # --- integer (SNP) Gram contribution, blocked over SNPs
-            if fuse_snp_blocks:
-                gram = np.asarray(
-                    gemm_mixed(q1[rs, :], q2[cs, :],
-                               variant=snp_variant, transb=True),
-                    dtype=np.float64,
-                )
-            else:
-                gram = np.zeros((mb, col_end), dtype=np.float64)
-                for s0 in range(0, ns, snp_block):
-                    s1 = min(s0 + snp_block, ns)
-                    gram += np.asarray(
-                        gemm_mixed(q1[rs, s0:s1], q2[cs, s0:s1],
-                                   variant=snp_variant, transb=True),
-                        dtype=np.float64,
-                    )
-            dist = d1[rs, None] + d2[None, cs] - 2.0 * gram
-
-            # --- confounder FP32 contribution accumulated separately
-            if qc1 is not None and n_conf > 0:
-                gram_c = np.asarray(
-                    gemm_mixed(qc1[rs, :], qc2[cs, :], variant=conf_variant,
-                               transb=True),
-                    dtype=np.float64,
-                )
-                dist += e1[rs, None] + e2[None, cs] - 2.0 * gram_c
-
-            np.maximum(dist, 0.0, out=dist)
-            # fused exponentiation before the row of tiles is released
-            return gaussian_kernel(dist, gamma)
+            return self._kernel_rows(ctx, rs, slice(0, col_end))
 
         for bi, row_k in _windowed_map(row_task, tasks, workers):
             # allocation accounting happens on this (single) consumer
@@ -444,16 +567,9 @@ class KernelBuilder:
             col_tiles = (bi + 1) if symmetric else layout.tile_cols
             for bj in range(col_tiles):
                 cs = layout.tile_slice(bi, bj)[1]
-                nb = cs.stop - cs.start
-                tile_flops = 2.0 * mb * nb * ns
+                tile_flops, _ = self._block_flops(ctx, mb, cs.stop - cs.start,
+                                                  by_prec)
                 flops_box[0] += tile_flops
-                by_prec[self.snp_precision] = (
-                    by_prec.get(self.snp_precision, 0.0) + tile_flops)
-                if n_conf > 0:
-                    cf = 2.0 * mb * nb * n_conf
-                    flops_box[0] += cf
-                    by_prec[self.confounder_precision] = (
-                        by_prec.get(self.confounder_precision, 0.0) + cf)
                 consume((bi, bj), row_k[:, cs])
 
 

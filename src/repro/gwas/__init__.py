@@ -1,15 +1,21 @@
 """The paper's contribution: mixed-precision RR and KRR multivariate GWAS.
 
-* :class:`~repro.gwas.ridge.RidgeRegressionGWAS` — linear ridge
-  regression on the genotype+confounder design matrix (Eq. 1–2 of the
-  paper), solved with the mixed-precision SYRK + tiled Cholesky path.
-* :class:`~repro.gwas.krr.KernelRidgeRegressionGWAS` — the three-phase
-  Kernel Ridge Regression workflow (Build / Associate / Predict,
-  Algorithms 1–5), with tile-centric adaptive precision or band
-  precision plans.
+* :class:`~repro.gwas.session.KRRSession` — the tile-native three-phase
+  Kernel Ridge Regression session (Build / Associate / Predict,
+  Algorithms 1–5): the kernel matrix stays a tiled ``TileMatrix`` end
+  to end with zero dense n×n round-trips, the regularization boost
+  touches only diagonal tiles, and Predict streams in row batches.
+* :class:`~repro.gwas.session.RRSession` — linear ridge regression on
+  the genotype+confounder design matrix (Eq. 1–2 of the paper), solved
+  with the mixed-precision SYRK + tiled Cholesky path, in the same
+  session shape.
+* :class:`~repro.gwas.krr.KernelRidgeRegressionGWAS` /
+  :class:`~repro.gwas.ridge.RidgeRegressionGWAS` — deprecated thin
+  wrappers over the sessions, kept for ``fit``/``predict`` callers.
 * :mod:`repro.gwas.metrics` — MSPE and Pearson correlation, the two
   accuracy metrics of Sec. VII.
-* :mod:`repro.gwas.cv` — cross-validation for the α / γ hyperparameters.
+* :mod:`repro.gwas.cv` — cross-validation for the α / γ hyperparameters
+  (one kernel Build per (fold, γ), one factorization per α).
 * :mod:`repro.gwas.workflow` — end-to-end driver over a
   :class:`~repro.data.dataset.GWASDataset`.
 """
@@ -23,6 +29,7 @@ from repro.gwas.metrics import (
     pearson_correlation,
 )
 from repro.gwas.ridge import RidgeRegressionGWAS, RRModel
+from repro.gwas.session import KRRSession, RRSession
 from repro.gwas.cv import CrossValidationResult, grid_search_cv
 from repro.gwas.workflow import GWASWorkflow, WorkflowResult
 
@@ -30,6 +37,8 @@ __all__ = [
     "PrecisionPlan",
     "RRConfig",
     "KRRConfig",
+    "KRRSession",
+    "RRSession",
     "RidgeRegressionGWAS",
     "RRModel",
     "KernelRidgeRegressionGWAS",

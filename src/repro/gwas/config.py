@@ -13,6 +13,7 @@ the paper's accuracy experiments sweep:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import ClassVar
 
@@ -22,8 +23,27 @@ from repro.tiles.band import band_precision_map
 from repro.tiles.layout import TileLayout
 
 
+class _WithOptionsMixin:
+    """``with_options(**overrides)`` for the frozen config dataclasses.
+
+    Returns a copy with the given fields replaced (validation re-runs
+    through ``__post_init__``), replacing the historical
+    ``Config(**{**config.__dict__, **overrides})`` reconstruction trick.
+    """
+
+    def with_options(self, **overrides):
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - names
+        if unknown:
+            raise ValueError(
+                f"unknown {type(self).__name__} option(s) {sorted(unknown)}; "
+                f"valid fields are {sorted(names)}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+
 @dataclass(frozen=True)
-class PrecisionPlan:
+class PrecisionPlan(_WithOptionsMixin):
     """How tile precisions are assigned in the Associate phase.
 
     Parameters
@@ -161,7 +181,7 @@ class PrecisionPlan:
 
 
 @dataclass(frozen=True)
-class RRConfig:
+class RRConfig(_WithOptionsMixin):
     """Ridge-regression GWAS configuration (Eq. 1–2).
 
     Parameters
@@ -192,7 +212,7 @@ class RRConfig:
 
 
 @dataclass(frozen=True)
-class KRRConfig:
+class KRRConfig(_WithOptionsMixin):
     """Kernel-ridge-regression GWAS configuration (Algorithms 1–5).
 
     Parameters
@@ -212,6 +232,15 @@ class KRRConfig:
     build_workers:
         Worker threads of the Build-phase tile loop (``None`` lets the
         builder pick ``min(8, cpu_count)``; 1 forces sequential).
+    predict_batch_rows:
+        Row-batch size of the streamed Predict phase: the test cohort
+        is processed ``predict_batch_rows`` individuals at a time, so
+        the peak cross-kernel temporary is one batch instead of the
+        full ``n_test × n_train`` panel.  Rounded to a multiple of
+        ``tile_size`` at run time, minimum one tile (keeping batch
+        boundaries on tile boundaries makes the batched predictions
+        bitwise identical to the monolithic path).  ``None`` processes
+        the cohort in one batch.
     normalize_gamma:
         When True (default), γ is rescaled with the SNP count so that
         ``γ_eff · E[||g_i - g_j||²]`` stays constant across cohorts of
@@ -230,6 +259,7 @@ class KRRConfig:
     precision_plan: PrecisionPlan = field(default_factory=PrecisionPlan.adaptive_fp16)
     snp_precision: Precision = Precision.INT8
     build_workers: int | None = None
+    predict_batch_rows: int | None = 1024
     normalize_gamma: bool = True
 
     def __post_init__(self) -> None:
@@ -237,6 +267,8 @@ class KRRConfig:
             raise ValueError("gamma must be non-negative")
         if self.alpha < 0:
             raise ValueError("alpha must be non-negative")
+        if self.predict_batch_rows is not None and self.predict_batch_rows <= 0:
+            raise ValueError("predict_batch_rows must be positive (or None)")
         if self.kernel_type not in ("gaussian", "ibs"):
             raise ValueError("kernel_type must be 'gaussian' or 'ibs'")
         if self.tile_size <= 0:

@@ -14,8 +14,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.gwas.config import KRRConfig
-from repro.gwas.krr import KernelRidgeRegressionGWAS
 from repro.gwas.metrics import mean_squared_prediction_error
+from repro.gwas.session import KRRSession
 
 __all__ = ["CrossValidationResult", "grid_search_cv", "kfold_indices"]
 
@@ -62,8 +62,7 @@ class CrossValidationResult:
     def best_config(self, base: KRRConfig | None = None) -> KRRConfig:
         """A :class:`KRRConfig` carrying the selected hyperparameters."""
         base = base or KRRConfig()
-        return KRRConfig(**{**base.__dict__,
-                            "alpha": self.best_alpha, "gamma": self.best_gamma})
+        return base.with_options(alpha=self.best_alpha, gamma=self.best_gamma)
 
 
 def grid_search_cv(
@@ -80,6 +79,14 @@ def grid_search_cv(
 
     Returns the pair minimizing the mean validation MSPE.  The kernel
     type, tile size and precision plan are taken from ``base_config``.
+
+    The kernel matrix ``K`` depends on γ but **not** on α, so each
+    (fold, γ) pair builds ``K`` and the validation cross kernel exactly
+    once; the α axis then re-runs only the Associate phase against the
+    retained tiled kernel (one diagonal-shifted factorization per α)
+    and the Predict GEMM against the retained cross kernel.  For a grid
+    with ``A`` alphas this removes ``(A-1)/A`` of the Build work the
+    per-grid-point refit performed.
     """
     if not alphas or not gammas:
         raise ValueError("alphas and gammas must be non-empty")
@@ -91,25 +98,29 @@ def grid_search_cv(
 
     folds = kfold_indices(genotypes.shape[0], n_folds, seed=seed)
     scores: dict[tuple[float, float], float] = {}
-    fold_scores: dict[tuple[float, float], list[float]] = {}
+    fold_scores: dict[tuple[float, float], list[float]] = {
+        (float(a), float(g)): [] for a in alphas for g in gammas}
 
-    for alpha in alphas:
+    for train_idx, valid_idx in folds:
+        g_train, g_valid = genotypes[train_idx], genotypes[valid_idx]
+        y_train, y_valid = phenotypes[train_idx], phenotypes[valid_idx]
+        c_train = None if confounders is None else confounders[train_idx]
+        c_valid = None if confounders is None else confounders[valid_idx]
         for gamma in gammas:
-            cfg = KRRConfig(**{**base.__dict__, "alpha": float(alpha),
-                               "gamma": float(gamma)})
-            errs: list[float] = []
-            for train_idx, valid_idx in folds:
-                model = KernelRidgeRegressionGWAS(cfg)
-                pred = model.fit_predict(
-                    genotypes[train_idx], phenotypes[train_idx],
-                    genotypes[valid_idx],
-                    None if confounders is None else confounders[train_idx],
-                    None if confounders is None else confounders[valid_idx],
-                )
-                errs.append(mean_squared_prediction_error(phenotypes[valid_idx], pred))
-            key = (float(alpha), float(gamma))
-            fold_scores[key] = errs
-            scores[key] = float(np.mean(errs))
+            session = KRRSession(base.with_options(gamma=float(gamma)))
+            session.build(g_train, c_train)
+            cross = None
+            for alpha in alphas:
+                session.associate(y_train, alpha=float(alpha))
+                if cross is None:
+                    # K_test depends only on gamma — build once per fold
+                    cross = session.cross_kernel(g_valid, c_valid)
+                pred = session.predict_with_kernel(cross)
+                fold_scores[(float(alpha), float(gamma))].append(
+                    mean_squared_prediction_error(y_valid, pred))
+
+    for key, errs in fold_scores.items():
+        scores[key] = float(np.mean(errs))
 
     best_key = min(scores, key=scores.get)
     return CrossValidationResult(

@@ -1,5 +1,13 @@
 """Kernel Ridge Regression multivariate GWAS (Algorithms 1–5).
 
+.. deprecated::
+    :class:`KernelRidgeRegressionGWAS` is a thin compatibility wrapper
+    over :class:`~repro.gwas.session.KRRSession`, the tile-native
+    solver session that keeps the kernel matrix tiled from Build
+    through Associate and Predict with zero dense n×n round-trips.
+    New code should use ``repro.api.KRRSession`` directly; this class
+    is kept so existing ``fit``/``predict`` callers continue to work.
+
 The three-phase workflow of the paper:
 
 * **Build** (Algorithm 2) — the training kernel matrix ``K`` from the
@@ -9,8 +17,8 @@ The three-phase workflow of the paper:
   mixed-precision Cholesky (tile precisions from the configured
   :class:`~repro.gwas.config.PrecisionPlan`) and solve for the weight
   panel ``W`` against the phenotypes.
-* **Predict** (Algorithm 4) — build the test-vs-train kernel and
-  compute ``Pr = K_test · W`` in FP32.
+* **Predict** (Algorithm 4) — stream the test-vs-train kernel in row
+  batches and compute ``Pr = K_test · W`` in FP32.
 
 A fitted model exposes the per-phase flop counts split by precision —
 the quantities the paper's performance figures are built from.
@@ -22,11 +30,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.distance.build import BuildResult, KernelBuilder
-from repro.gwas.config import KRRConfig, PrecisionPlan
-from repro.linalg.blas3 import gemm
-from repro.linalg.cholesky import CholeskyResult, cholesky
-from repro.linalg.solve import solve_cholesky
+from repro.distance.build import BuildResult
+from repro.gwas.config import KRRConfig
+from repro.gwas.session import KRRSession
+from repro.linalg.cholesky import CholeskyResult
 from repro.precision.formats import Precision
 from repro.tiles.matrix import TileMatrix
 
@@ -51,9 +58,12 @@ class KRRModel:
     gamma:
         The effective kernel bandwidth actually applied.
     phase_flops:
-        Per-phase operation counts (``"build"``, ``"associate"``).
+        Per-phase operation counts (``"build"``, ``"associate"``, and —
+        after :meth:`KernelRidgeRegressionGWAS.predict` — ``"predict"``).
     flops_by_precision:
-        Operation counts split by compute precision across both phases.
+        Operation counts split by compute precision across all phases
+        (kept consistent with ``phase_flops``: the Predict phase folds
+        its cross-kernel and GEMM operations into both).
     precision_map:
         Per-tile storage precisions of the kernel matrix (Fig. 4).
     """
@@ -73,6 +83,10 @@ class KRRModel:
 class KernelRidgeRegressionGWAS:
     """Multivariate GWAS with mixed-precision Kernel Ridge Regression.
 
+    .. deprecated::
+        Thin wrapper over :class:`~repro.gwas.session.KRRSession`;
+        prefer the session API (``repro.api.KRRSession``) in new code.
+
     Parameters
     ----------
     config:
@@ -81,34 +95,29 @@ class KernelRidgeRegressionGWAS:
     """
 
     def __init__(self, config: KRRConfig | None = None, **overrides) -> None:
-        if config is None:
-            config = KRRConfig()
-        if overrides:
-            config = KRRConfig(**{**config.__dict__, **overrides})
-        self.config = config
+        self.session = KRRSession(config, **overrides)
+        self.config = self.session.config
         self.model_: KRRModel | None = None
+        # standalone associate() runs on a scratch session; this tracks
+        # whichever session performed the most recent Associate phase
+        self._associate_session = self.session
+
+    @property
+    def regularization_boosts_(self) -> int:
+        """Alpha-boost count of the most recent Associate phase."""
+        return self._associate_session.regularization_boosts_
 
     # ------------------------------------------------------------------
     # Phase 1: BUILD
     # ------------------------------------------------------------------
     def build(self, genotypes: np.ndarray,
               confounders: np.ndarray | None = None) -> BuildResult:
-        """Build the symmetric training kernel matrix (Algorithm 2)."""
-        cfg = self.config
-        genotypes = np.asarray(genotypes)
-        gamma = cfg.effective_gamma(genotypes.shape[1])
-        plan: PrecisionPlan = cfg.precision_plan
-        adaptive_rule = plan.adaptive_rule() if plan.mode == "adaptive" else None
-        builder = KernelBuilder(
-            kernel_type=cfg.kernel_type,
-            gamma=gamma,
-            tile_size=cfg.tile_size,
-            snp_precision=cfg.snp_precision,
-            adaptive_rule=adaptive_rule,
-            storage_precision=plan.working_precision,
-            workers=cfg.build_workers,
-        )
-        return builder.build_training(genotypes, confounders)
+        """Build the symmetric training kernel matrix (Algorithm 2).
+
+        Like the historical estimator, this is side-effect-free: it runs
+        on a scratch session and does not disturb a fitted model.
+        """
+        return KRRSession(self.config).build(genotypes, confounders)
 
     # ------------------------------------------------------------------
     # Phase 2: ASSOCIATE
@@ -117,57 +126,18 @@ class KernelRidgeRegressionGWAS:
                   phenotypes: np.ndarray) -> tuple[np.ndarray, CholeskyResult]:
         """Factorize ``K + αI`` and solve for the weight panel (Algorithm 3).
 
-        If the low-precision perturbation of the kernel tiles makes the
-        regularized matrix numerically indefinite (possible when the
-        kernel is close to singular and the FP8 floor is engaged), the
-        regularization is boosted by 10x — up to twice — before giving
-        up; the boost count is recorded in ``self.regularization_boosts_``.
+        The kernel stays tiled through the factorization: a dense array
+        input is tiled once, a ``TileMatrix`` is consumed as-is, and the
+        regularization (including the 10x boost-retry loop, recorded in
+        ``regularization_boosts_``) only ever touches diagonal tiles.
+        Runs on a scratch session, so a previously fitted model keeps
+        predicting from its own state (historical behaviour).
         """
-        cfg = self.config
-        plan = cfg.precision_plan
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-
-        k_dense = kernel.to_dense() if isinstance(kernel, TileMatrix) else np.asarray(
-            kernel, dtype=np.float64)
-        n = k_dense.shape[0]
-        if k_dense.shape != (n, n):
-            raise ValueError("the training kernel matrix must be square")
-        if phenotypes.shape[0] != n:
-            raise ValueError("phenotypes must have one row per training individual")
-
-        from repro.tiles.layout import TileLayout
-
-        layout = TileLayout.square(n, cfg.tile_size)
-        self.regularization_boosts_ = 0
-        alpha = cfg.alpha if cfg.alpha > 0 else 1e-6
-        last_error: Exception | None = None
-        diag_idx = np.diag_indices(n)
-        for attempt in range(3):
-            # regularize in place of a copy; avoids the dense n x n
-            # identity temporary the historical path built per attempt
-            a = k_dense.copy()
-            a[diag_idx] += alpha
-            pmap = plan.precision_map(layout, matrix=a)
-            try:
-                fact = cholesky(a, tile_size=cfg.tile_size,
-                                working_precision=plan.working_precision,
-                                precision_map=pmap)
-                break
-            except np.linalg.LinAlgError as exc:
-                last_error = exc
-                alpha *= 10.0
-                self.regularization_boosts_ = attempt + 1
-        else:
-            raise np.linalg.LinAlgError(
-                "the regularized kernel matrix remained indefinite under the "
-                "chosen precision plan even after boosting alpha"
-            ) from last_error
-
-        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
-        weights = solve_cholesky(fact, y_centered, precision=plan.working_precision)
-        return np.asarray(weights, dtype=np.float64), fact
+        scratch = KRRSession(self.config)
+        scratch.adopt_kernel(kernel)
+        weights = scratch.associate(phenotypes)
+        self._associate_session = scratch
+        return weights, scratch.factorization_
 
     # ------------------------------------------------------------------
     # fit = BUILD + ASSOCIATE
@@ -175,33 +145,21 @@ class KernelRidgeRegressionGWAS:
     def fit(self, genotypes: np.ndarray, phenotypes: np.ndarray,
             confounders: np.ndarray | None = None) -> KRRModel:
         """Run the Build and Associate phases on the training cohort."""
-        cfg = self.config
-        genotypes = np.asarray(genotypes)
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-        if phenotypes.shape[0] != genotypes.shape[0]:
-            raise ValueError("genotypes and phenotypes must have the same number of rows")
-
-        build_result = self.build(genotypes, confounders)
-        weights, fact = self.associate(build_result.kernel, phenotypes)
-
-        flops_by_precision = dict(build_result.flops_by_precision)
-        for prec, fl in fact.flops_by_precision.items():
-            flops_by_precision[prec] = flops_by_precision.get(prec, 0.0) + fl
-
+        session = self.session
+        session.fit(genotypes, phenotypes, confounders)
+        self._associate_session = session
         self.model_ = KRRModel(
-            weights=weights,
-            factorization=fact,
-            build=build_result,
-            training_genotypes=genotypes,
-            training_confounders=(None if confounders is None
-                                  else np.asarray(confounders, dtype=np.float64)),
-            gamma=cfg.effective_gamma(genotypes.shape[1]),
-            y_means=phenotypes.mean(axis=0),
-            phase_flops={"build": build_result.flops, "associate": fact.flops},
-            flops_by_precision=flops_by_precision,
-            precision_map=build_result.precision_map,
+            weights=session.weights_,
+            factorization=session.factorization_,
+            build=session.build_result_,
+            training_genotypes=session.training_genotypes_,
+            training_confounders=session.training_confounders_,
+            gamma=session.gamma_,
+            y_means=session.y_means_,
+            # live references: the Predict phase updates both views
+            phase_flops=session.phase_flops,
+            flops_by_precision=session.flops_by_precision,
+            precision_map=session.build_result_.precision_map,
         )
         return self.model_
 
@@ -210,34 +168,10 @@ class KernelRidgeRegressionGWAS:
     # ------------------------------------------------------------------
     def predict(self, genotypes: np.ndarray,
                 confounders: np.ndarray | None = None) -> np.ndarray:
-        """Predict phenotypes for a new cohort (Algorithm 4)."""
+        """Predict phenotypes for a new cohort (Algorithm 4), streamed."""
         if self.model_ is None:
             raise RuntimeError("fit() must be called before predict()")
-        cfg = self.config
-        model = self.model_
-        genotypes = np.asarray(genotypes)
-        if genotypes.shape[1] != model.training_genotypes.shape[1]:
-            raise ValueError("test cohort must have the same SNP panel as training")
-        if (confounders is None) != (model.training_confounders is None):
-            raise ValueError("confounders must match the training configuration")
-
-        builder = KernelBuilder(
-            kernel_type=cfg.kernel_type,
-            gamma=model.gamma,
-            tile_size=cfg.tile_size,
-            snp_precision=cfg.snp_precision,
-            storage_precision=cfg.precision_plan.working_precision,
-            workers=cfg.build_workers,
-        )
-        cross = builder.build_cross(
-            genotypes, model.training_genotypes,
-            confounders, model.training_confounders,
-        )
-        k_test = cross.to_dense()
-        predictions = gemm(k_test, model.weights, tile_size=cfg.tile_size,
-                           precision=cfg.precision_plan.working_precision)
-        model.phase_flops["predict"] = model.phase_flops.get("predict", 0.0) + cross.flops
-        return predictions + model.y_means[None, :]
+        return self.session.predict(genotypes, confounders)
 
     def fit_predict(self, train_genotypes: np.ndarray, train_phenotypes: np.ndarray,
                     test_genotypes: np.ndarray,
@@ -256,9 +190,4 @@ class KernelRidgeRegressionGWAS:
         """
         if self.model_ is None:
             raise RuntimeError("fit() must be called before reusing the factors")
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
-        return solve_cholesky(self.model_.factorization, y_centered,
-                              precision=self.config.precision_plan.working_precision)
+        return self.session.solve_additional_phenotypes(phenotypes)

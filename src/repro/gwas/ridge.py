@@ -1,5 +1,10 @@
 """Linear Ridge Regression GWAS (the paper's RR baseline, Sec. V-A).
 
+.. deprecated::
+    :class:`RidgeRegressionGWAS` is a thin compatibility wrapper over
+    :class:`~repro.gwas.session.RRSession`; prefer the session API
+    (``repro.api.RRSession``) in new code.
+
 Ridge regression minimizes ``||Y − Xβ||² + λ||β||²`` over the design
 matrix ``X`` (patients × [SNPs + confounders]) and the phenotype panel
 ``Y``.  The normal-equations solution
@@ -25,12 +30,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.gwas.config import PrecisionPlan, RRConfig
-from repro.linalg.blas3 import gemm, syrk
-from repro.linalg.cholesky import CholeskyResult, cholesky
-from repro.linalg.solve import solve_cholesky
+from repro.gwas.config import RRConfig
+from repro.gwas.session import RRSession
+from repro.linalg.cholesky import CholeskyResult
 from repro.precision.formats import Precision
-from repro.tiles.layout import TileLayout
 
 __all__ = ["RidgeRegressionGWAS", "RRModel"]
 
@@ -65,6 +68,10 @@ class RRModel:
 class RidgeRegressionGWAS:
     """Multivariate GWAS with linear ridge regression.
 
+    .. deprecated::
+        Thin wrapper over :class:`~repro.gwas.session.RRSession`;
+        prefer the session API in new code.
+
     Parameters
     ----------
     config:
@@ -73,97 +80,22 @@ class RidgeRegressionGWAS:
     """
 
     def __init__(self, config: RRConfig | None = None, **overrides) -> None:
-        if config is None:
-            config = RRConfig()
-        if overrides:
-            config = RRConfig(**{**config.__dict__, **overrides})
-        self.config = config
+        self.session = RRSession(config, **overrides)
+        self.config = self.session.config
         self.model_: RRModel | None = None
-
-    # ------------------------------------------------------------------
-    def _standardize(self, x: np.ndarray, fit: bool) -> np.ndarray:
-        """Center/scale design columns (fit: learn the statistics)."""
-        x = np.asarray(x, dtype=np.float64)
-        if fit:
-            self._means = x.mean(axis=0)
-            scales = x.std(axis=0)
-            scales[scales == 0] = 1.0
-            self._scales = scales
-        return (x - self._means) / self._scales
 
     def fit(self, design: np.ndarray, phenotypes: np.ndarray,
             integer_columns: np.ndarray | None = None) -> RRModel:
-        """Fit β = (XᵀX + λI)⁻¹ XᵀY with the mixed-precision pipeline.
-
-        Parameters
-        ----------
-        design:
-            ``n × p`` design matrix (SNPs + confounders).  The matrix is
-            standardized internally; the integer tensor-core path is
-            applied to the *raw* integer SNP columns when
-            ``integer_columns`` marks them, matching the paper's encoding
-            (standardization is folded into the Gram matrix afterwards).
-        phenotypes:
-            ``n × nph`` phenotype panel (a 1D vector is accepted).
-        integer_columns:
-            Boolean mask of integer-coded columns (auto-detected when
-            omitted).
-        """
-        cfg = self.config
-        design = np.asarray(design, dtype=np.float64)
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-        n, p = design.shape
-        if phenotypes.shape[0] != n:
-            raise ValueError("design and phenotypes must have the same number of rows")
-
-        flops_by_precision: dict[Precision, float] = {}
-
-        def account(flops: int, precision: Precision) -> None:
-            flops_by_precision[precision] = flops_by_precision.get(precision, 0.0) + flops
-
-        # --- Gram matrix on raw columns via the mixed INT8/FP32 SYRK
-        gram_raw = syrk(design, tile_size=cfg.tile_size,
-                        integer_columns=integer_columns,
-                        output_precision=Precision.FP64,
-                        accumulate_callback=account)
-
-        # Standardize the Gram matrix analytically:
-        #   X_std = (X - 1 μᵀ) D⁻¹  ⇒  X_stdᵀ X_std = D⁻¹ (XᵀX − n μ μᵀ) D⁻¹
-        mu = design.mean(axis=0)
-        scales = design.std(axis=0)
-        scales[scales == 0] = 1.0
-        self._means, self._scales = mu, scales
-        gram = (gram_raw - n * np.outer(mu, mu)) / np.outer(scales, scales)
-
-        # --- regularize and factorize with the precision plan
-        a = gram + cfg.regularization * np.eye(p)
-        layout = TileLayout.square(p, cfg.tile_size)
-        plan: PrecisionPlan = cfg.precision_plan
-        pmap = plan.precision_map(layout, matrix=a)
-        fact = cholesky(a, tile_size=cfg.tile_size,
-                        working_precision=plan.working_precision,
-                        precision_map=pmap)
-        for prec, fl in fact.flops_by_precision.items():
-            flops_by_precision[prec] = flops_by_precision.get(prec, 0.0) + fl
-
-        # --- XᵀY in FP32 and the triangular solves
-        x_std = self._standardize(design, fit=False)
-        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
-        self._y_means = phenotypes.mean(axis=0)
-        xty = gemm(x_std, y_centered, tile_size=cfg.tile_size,
-                   precision=Precision.FP32, transa=True)
-        beta = solve_cholesky(fact, xty, precision=plan.working_precision)
-
-        total_flops = float(sum(flops_by_precision.values()))
+        """Fit β = (XᵀX + λI)⁻¹ XᵀY with the mixed-precision pipeline."""
+        session = self.session
+        session.fit(design, phenotypes, integer_columns=integer_columns)
         self.model_ = RRModel(
-            beta=np.asarray(beta, dtype=np.float64),
-            factorization=fact,
-            flops=total_flops,
-            column_means=mu,
-            column_scales=scales,
-            flops_by_precision=flops_by_precision,
+            beta=session.beta_,
+            factorization=session.factorization_,
+            flops=session.flops_,
+            column_means=session.column_means_,
+            column_scales=session.column_scales_,
+            flops_by_precision=session.flops_by_precision,
         )
         return self.model_
 
@@ -172,10 +104,7 @@ class RidgeRegressionGWAS:
         """Predict phenotypes for new individuals (test design matrix)."""
         if self.model_ is None:
             raise RuntimeError("fit() must be called before predict()")
-        x_std = self._standardize(np.asarray(design, dtype=np.float64), fit=False)
-        pred = gemm(x_std, self.model_.beta, tile_size=self.config.tile_size,
-                    precision=Precision.FP32)
-        return pred + self._y_means[None, :]
+        return self.session.predict(design)
 
     def fit_predict(self, train_design: np.ndarray, train_phenotypes: np.ndarray,
                     test_design: np.ndarray,
@@ -193,12 +122,4 @@ class RidgeRegressionGWAS:
         """
         if self.model_ is None:
             raise RuntimeError("fit() must be called before reusing the factors")
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-        x_std = self._standardize(np.asarray(design, dtype=np.float64), fit=False)
-        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
-        xty = gemm(x_std, y_centered, tile_size=self.config.tile_size,
-                   precision=Precision.FP32, transa=True)
-        return solve_cholesky(self.model_.factorization, xty,
-                              precision=self.config.precision_plan.working_precision)
+        return self.session.solve_additional_phenotypes(design, phenotypes)

@@ -1,0 +1,561 @@
+"""Tile-native solver sessions: Build → Associate → Predict.
+
+:class:`KRRSession` is the paper's three-phase KRR pipeline
+(Algorithms 1–5) redesigned around the kernel matrix as a *tile-native*
+object: ``K`` is produced by the streamed Build as a symmetric
+:class:`~repro.tiles.matrix.TileMatrix` and stays tiled through the
+Associate factorization and the Predict phase — there is **zero dense
+n×n round-trip** anywhere in the fit/predict hot path.
+
+The memory contract per phase:
+
+* **Build** — tiles stream into symmetric tile storage; peak dense
+  temporary is one block row of tiles
+  (:class:`~repro.distance.build.BuildStats`).
+* **Associate** — the regularization ``K + alpha*I`` touches only the
+  *diagonal tiles* (:meth:`TileMatrix.add_diagonal`), the boost-retry
+  loop moves the shift with :meth:`TileMatrix.shift_diagonal` instead
+  of re-copying the matrix, and the Cholesky factorizes a tile-level
+  workspace copy (:meth:`TileMatrix.unpacked_lower`).  The weight-panel
+  solve runs blockwise against the tiled factors.
+* **Predict** — the test cohort streams through
+  :meth:`~repro.distance.build.KernelBuilder.iter_cross_rows` in row
+  batches (``KRRConfig.predict_batch_rows``), computing
+  ``K_test_block · W`` per block; the peak cross-kernel temporary is
+  one batch instead of the full ``n_test × n_train`` panel.
+
+:class:`RRSession` gives the linear ridge-regression baseline the same
+staged session shape (gram → associate → predict) so the two methods
+are driven identically by :class:`~repro.gwas.workflow.GWASWorkflow`.
+
+The legacy estimator classes
+(:class:`~repro.gwas.krr.KernelRidgeRegressionGWAS`,
+:class:`~repro.gwas.ridge.RidgeRegressionGWAS`) are thin wrappers over
+these sessions, kept for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.build import BuildResult, KernelBuilder
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.linalg.blas3 import gemm, syrk
+from repro.linalg.cholesky import CholeskyResult, cholesky
+from repro.linalg.solve import solve_cholesky
+from repro.precision.formats import Precision
+from repro.tiles.layout import TileLayout
+from repro.tiles.matrix import TileMatrix
+
+__all__ = ["KRRSession", "RRSession"]
+
+
+def _panel_rows(panel: TileMatrix) -> np.ndarray:
+    """Assemble a tall tiled panel into a dense float64 array tile-row-wise."""
+    rows = []
+    for i in range(panel.layout.tile_rows):
+        rows.append(np.hstack([panel.get_tile(i, j).to_float64()
+                               for j in range(panel.layout.tile_cols)]))
+    return np.vstack(rows)
+
+
+class KRRSession:
+    """A tile-native KRR solving session over one training cohort.
+
+    The session owns the phase pipeline and its state: the tiled kernel
+    (``kernel_``), the tiled Cholesky factorization (``factorization_``),
+    the weight panel (``weights_``), and the per-phase / per-precision
+    operation accounting (``phase_flops`` / ``flops_by_precision``).
+
+    Typical use::
+
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(train_genotypes, train_phenotypes, train_confounders)
+        predictions = session.predict(test_genotypes, test_confounders)
+
+    or phase by phase (e.g. to sweep the regularization over one
+    Build)::
+
+        session.build(train_genotypes)
+        for alpha in alphas:
+            session.associate(train_phenotypes, alpha=alpha)
+            ...
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.gwas.config.KRRConfig`; keyword overrides are
+        accepted, e.g. ``KRRSession(alpha=0.5, gamma=0.02)``.
+    """
+
+    def __init__(self, config: KRRConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = KRRConfig()
+        if overrides:
+            config = config.with_options(**overrides)
+        self.config = config
+        # Build state
+        self.build_result_: BuildResult | None = None
+        self.kernel_: TileMatrix | None = None
+        self.training_genotypes_: np.ndarray | None = None
+        self.training_confounders_: np.ndarray | None = None
+        self.gamma_: float | None = None
+        # Associate state
+        self.factorization_: CholeskyResult | None = None
+        self.weights_: np.ndarray | None = None
+        self.y_means_: np.ndarray | None = None
+        self.alpha_: float | None = None
+        self.regularization_boosts_: int = 0
+        # accounting (mutated in place so external references stay live)
+        self.phase_flops: dict[str, float] = {}
+        self.flops_by_precision: dict[Precision, float] = {}
+
+    # ------------------------------------------------------------------
+    # Phase 1: BUILD
+    # ------------------------------------------------------------------
+    def _builder(self, gamma: float, adaptive: bool = False) -> KernelBuilder:
+        cfg = self.config
+        plan: PrecisionPlan = cfg.precision_plan
+        adaptive_rule = (plan.adaptive_rule()
+                         if adaptive and plan.mode == "adaptive" else None)
+        return KernelBuilder(
+            kernel_type=cfg.kernel_type,
+            gamma=gamma,
+            tile_size=cfg.tile_size,
+            snp_precision=cfg.snp_precision,
+            adaptive_rule=adaptive_rule,
+            storage_precision=plan.working_precision,
+            workers=cfg.build_workers,
+        )
+
+    def build(self, genotypes: np.ndarray,
+              confounders: np.ndarray | None = None) -> BuildResult:
+        """Build the symmetric training kernel matrix (Algorithm 2).
+
+        The kernel streams tile by tile into symmetric tile storage and
+        is retained on the session as ``kernel_`` (a ``TileMatrix``) for
+        the Associate and Predict phases.
+        """
+        genotypes = np.asarray(genotypes)
+        gamma = self.config.effective_gamma(genotypes.shape[1])
+        builder = self._builder(gamma, adaptive=True)
+        result = builder.build_training(genotypes, confounders)
+
+        self.build_result_ = result
+        self.kernel_ = result.kernel
+        self.training_genotypes_ = genotypes
+        self.training_confounders_ = (
+            None if confounders is None
+            else np.asarray(confounders, dtype=np.float64))
+        self.gamma_ = gamma
+        self.phase_flops.clear()
+        self.phase_flops["build"] = result.flops
+        self.flops_by_precision.clear()
+        self.flops_by_precision.update(result.flops_by_precision)
+        return result
+
+    def adopt_kernel(self, kernel: TileMatrix | np.ndarray) -> TileMatrix:
+        """Attach an externally built training kernel to the session.
+
+        A dense array is tiled at the configured tile size (quantized to
+        the plan's working precision, matching what the historical dense
+        Associate path stored); a ``TileMatrix`` is adopted as-is.  The
+        session can then run :meth:`associate` without
+        :meth:`build` — note :meth:`predict` still requires the training
+        genotypes, i.e. a full :meth:`build`/:meth:`fit`.
+        """
+        if isinstance(kernel, TileMatrix):
+            tiled = kernel
+        else:
+            dense = np.asarray(kernel, dtype=np.float64)
+            if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+                raise ValueError("the training kernel matrix must be square")
+            tiled = TileMatrix.from_dense(
+                dense, self.config.tile_size,
+                self.config.precision_plan.working_precision, symmetric=True)
+        if tiled.shape[0] != tiled.shape[1]:
+            raise ValueError("the training kernel matrix must be square")
+        self.kernel_ = tiled
+        return tiled
+
+    # ------------------------------------------------------------------
+    # Phase 2: ASSOCIATE
+    # ------------------------------------------------------------------
+    def associate(self, phenotypes: np.ndarray,
+                  alpha: float | None = None) -> np.ndarray:
+        """Factorize ``K + alpha*I`` and solve the weight panel (Algorithm 3).
+
+        The regularization is applied by shifting only the *diagonal
+        tiles* of the tiled kernel; the factorization runs on a
+        tile-level workspace copy, so no dense n×n array is ever
+        materialized.  If the low-precision perturbation of the kernel
+        tiles makes the regularized matrix numerically indefinite, the
+        shift is boosted 10x in place — up to twice — before giving up;
+        the boost count is recorded in ``regularization_boosts_``.
+
+        ``alpha`` overrides ``config.alpha`` for this call, which is how
+        the cross-validation grid sweeps the regularization axis over a
+        single Build (one factorization per alpha, no kernel rebuild).
+        """
+        if self.kernel_ is None:
+            raise RuntimeError("build() must be called before associate()")
+        cfg = self.config
+        plan = cfg.precision_plan
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        n = self.kernel_.shape[0]
+        if phenotypes.shape[0] != n:
+            raise ValueError("phenotypes must have one row per training individual")
+
+        base = cfg.alpha if alpha is None else float(alpha)
+        current = base if base > 0 else 1e-6
+        # tile-grid copy sharing the off-diagonal tile objects with the
+        # kernel: regularization only allocates new diagonal tiles, and
+        # the factorization below works on its own workspace copy
+        regularized = self.kernel_.shallow_copy()
+        regularized.add_diagonal(current)
+
+        self.regularization_boosts_ = 0
+        last_error: Exception | None = None
+        for attempt in range(3):
+            pmap = plan.precision_map(regularized.layout, matrix=regularized)
+            try:
+                fact = cholesky(regularized,
+                                working_precision=plan.working_precision,
+                                precision_map=pmap)
+                break
+            except np.linalg.LinAlgError as exc:
+                last_error = exc
+                boosted = current * 10.0
+                # move the diagonal shift in place — off-diagonal tiles
+                # (the bulk of the matrix) are not touched, let alone
+                # copied, between attempts
+                regularized.shift_diagonal(current, boosted)
+                current = boosted
+                self.regularization_boosts_ = attempt + 1
+        else:
+            raise np.linalg.LinAlgError(
+                "the regularized kernel matrix remained indefinite under the "
+                "chosen precision plan even after boosting alpha"
+            ) from last_error
+
+        y_means = phenotypes.mean(axis=0)
+        y_centered = phenotypes - y_means[None, :]
+        # the weight-panel solve runs tiled against the tiled factors:
+        # the phenotype panel streams through per tile row
+        panel = TileMatrix.from_dense(y_centered, fact.factor.tile_size,
+                                      Precision.FP64)
+        solved = solve_cholesky(fact, panel, precision=plan.working_precision)
+        weights = _panel_rows(solved)
+
+        self.factorization_ = fact
+        self.weights_ = weights
+        self.y_means_ = y_means
+        self.alpha_ = current
+
+        # a (re-)associate resets the associate/predict accounting while
+        # keeping the Build contribution
+        build_by_prec = (self.build_result_.flops_by_precision
+                         if self.build_result_ is not None else {})
+        self.phase_flops.pop("predict", None)
+        self.phase_flops["associate"] = fact.flops
+        self.flops_by_precision.clear()
+        for source in (build_by_prec, fact.flops_by_precision):
+            for prec, fl in source.items():
+                self.flops_by_precision[prec] = (
+                    self.flops_by_precision.get(prec, 0.0) + fl)
+        return weights
+
+    # ------------------------------------------------------------------
+    # fit = BUILD + ASSOCIATE
+    # ------------------------------------------------------------------
+    def fit(self, genotypes: np.ndarray, phenotypes: np.ndarray,
+            confounders: np.ndarray | None = None) -> "KRRSession":
+        """Run the Build and Associate phases on the training cohort."""
+        genotypes = np.asarray(genotypes)
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        if phenotypes.shape[0] != genotypes.shape[0]:
+            raise ValueError("genotypes and phenotypes must have the same number of rows")
+        self.build(genotypes, confounders)
+        self.associate(phenotypes)
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase 3: PREDICT
+    # ------------------------------------------------------------------
+    def _check_test_cohort(self, genotypes: np.ndarray,
+                           confounders: np.ndarray | None) -> None:
+        if self.weights_ is None or self.training_genotypes_ is None:
+            raise RuntimeError("fit() must be called before predict()")
+        if genotypes.shape[1] != self.training_genotypes_.shape[1]:
+            raise ValueError("test cohort must have the same SNP panel as training")
+        if (confounders is None) != (self.training_confounders_ is None):
+            raise ValueError("confounders must match the training configuration")
+
+    def _effective_batch(self, batch_rows: int | None) -> int | None:
+        """Round the requested batch to a tile-size multiple (min one tile).
+
+        Tile-aligned batches keep every Gram product on the same BLAS
+        kernel dispatch as the monolithic path, which is what makes the
+        batched predictions bitwise identical to it; sub-tile batches
+        would drop the FP32 confounder contribution into a GEMV with a
+        different accumulation order.
+        """
+        if batch_rows is None:
+            return None
+        tile = self.config.tile_size
+        batch = max(tile, int(batch_rows))
+        return (batch // tile) * tile
+
+    def predict(self, genotypes: np.ndarray,
+                confounders: np.ndarray | None = None,
+                batch_rows: int | None = None) -> np.ndarray:
+        """Predict phenotypes for a new cohort (Algorithm 4), streamed.
+
+        Alias of :meth:`predict_batched` — the streamed row-batch path
+        *is* the Predict phase.
+        """
+        return self.predict_batched(genotypes, confounders,
+                                    batch_rows=batch_rows)
+
+    def predict_batched(self, genotypes: np.ndarray,
+                        confounders: np.ndarray | None = None,
+                        batch_rows: int | None = None) -> np.ndarray:
+        """Streamed Predict: ``K_test_block · W`` per row batch.
+
+        ``batch_rows`` overrides ``config.predict_batch_rows``; the
+        effective batch is rounded down to a tile-size multiple so the
+        batched result is identical to the monolithic cross-kernel
+        path.  Peak memory is one ``batch × n_train`` block.
+        """
+        genotypes = np.asarray(genotypes)
+        self._check_test_cohort(genotypes, confounders)
+        cfg = self.config
+        wp = cfg.precision_plan.working_precision
+        batch = self._effective_batch(
+            cfg.predict_batch_rows if batch_rows is None else batch_rows)
+        builder = self._builder(self.gamma_)
+
+        n_train = self.training_genotypes_.shape[0]
+        nph = self.weights_.shape[1]
+        predictions = np.empty((genotypes.shape[0], nph), dtype=np.float64)
+        flops = 0.0
+        by_prec: dict[Precision, float] = {}
+        for block in builder.iter_cross_rows(
+                genotypes, self.training_genotypes_,
+                confounders, self.training_confounders_,
+                batch_rows=batch):
+            predictions[block.rows] = gemm(
+                block.kernel, self.weights_, tile_size=cfg.tile_size,
+                precision=wp)
+            flops += block.flops
+            for prec, fl in block.flops_by_precision.items():
+                by_prec[prec] = by_prec.get(prec, 0.0) + fl
+            gemm_fl = 2.0 * (block.rows.stop - block.rows.start) * n_train * nph
+            flops += gemm_fl
+            by_prec[wp] = by_prec.get(wp, 0.0) + gemm_fl
+
+        self._account_predict(flops, by_prec)
+        return predictions + self.y_means_[None, :]
+
+    def _account_predict(self, flops: float,
+                         by_prec: dict[Precision, float]) -> None:
+        """Fold Predict-phase operations into *both* accounting views."""
+        self.phase_flops["predict"] = (
+            self.phase_flops.get("predict", 0.0) + flops)
+        for prec, fl in by_prec.items():
+            self.flops_by_precision[prec] = (
+                self.flops_by_precision.get(prec, 0.0) + fl)
+
+    # ------------------------------------------------------------------
+    # cross-kernel reuse (hyperparameter sweeps)
+    # ------------------------------------------------------------------
+    def cross_kernel(self, genotypes: np.ndarray,
+                     confounders: np.ndarray | None = None) -> BuildResult:
+        """Materialize the test-vs-train cross kernel for reuse.
+
+        ``K_test`` depends on the kernel bandwidth but *not* on the
+        regularization, so a hyperparameter sweep over alpha can build
+        it once and re-apply :meth:`predict_with_kernel` per alpha.
+        The cross-kernel build cost is accounted here (once).
+        """
+        genotypes = np.asarray(genotypes)
+        self._check_test_cohort(genotypes, confounders)
+        builder = self._builder(self.gamma_)
+        result = builder.build_cross(
+            genotypes, self.training_genotypes_,
+            confounders, self.training_confounders_,
+        )
+        self._account_predict(result.flops, result.flops_by_precision)
+        return result
+
+    def predict_with_kernel(self, cross: BuildResult | np.ndarray) -> np.ndarray:
+        """Predict from a pre-built cross kernel (see :meth:`cross_kernel`)."""
+        if self.weights_ is None:
+            raise RuntimeError("fit() must be called before predict()")
+        cfg = self.config
+        wp = cfg.precision_plan.working_precision
+        k_test = cross.kernel if isinstance(cross, BuildResult) else np.asarray(cross)
+        predictions = gemm(np.asarray(k_test), self.weights_,
+                           tile_size=cfg.tile_size, precision=wp)
+        gemm_fl = 2.0 * k_test.shape[0] * k_test.shape[1] * self.weights_.shape[1]
+        self._account_predict(gemm_fl, {wp: gemm_fl})
+        return predictions + self.y_means_[None, :]
+
+    def fit_predict(self, train_genotypes: np.ndarray,
+                    train_phenotypes: np.ndarray,
+                    test_genotypes: np.ndarray,
+                    train_confounders: np.ndarray | None = None,
+                    test_confounders: np.ndarray | None = None) -> np.ndarray:
+        """Fit on the training cohort and predict the test cohort."""
+        self.fit(train_genotypes, train_phenotypes, train_confounders)
+        return self.predict(test_genotypes, test_confounders)
+
+    # ------------------------------------------------------------------
+    # factor reuse
+    # ------------------------------------------------------------------
+    def solve_additional_phenotypes(self, phenotypes: np.ndarray) -> np.ndarray:
+        """Solve extra phenotype panels reusing the kernel factorization.
+
+        Once ``K + alpha*I`` is factorized, each additional phenotype
+        panel costs only two triangular solves against the tiled
+        factors (Sec. V-B3).
+        """
+        if self.factorization_ is None:
+            raise RuntimeError("fit() must be called before reusing the factors")
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
+        return solve_cholesky(self.factorization_, y_centered,
+                              precision=self.config.precision_plan.working_precision)
+
+
+class RRSession:
+    """Staged linear ridge-regression session (the paper's RR baseline).
+
+    Same session shape as :class:`KRRSession` — a ``fit`` that runs the
+    mixed-precision SYRK + tiled Cholesky pipeline, a streamed
+    ``predict``, and factor reuse for additional phenotypes — over the
+    design matrix ``X`` instead of a kernel.
+    """
+
+    def __init__(self, config: RRConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = RRConfig()
+        if overrides:
+            config = config.with_options(**overrides)
+        self.config = config
+        self.beta_: np.ndarray | None = None
+        self.factorization_: CholeskyResult | None = None
+        self.column_means_: np.ndarray | None = None
+        self.column_scales_: np.ndarray | None = None
+        self.y_means_: np.ndarray | None = None
+        self.flops_: float = 0.0
+        self.flops_by_precision: dict[Precision, float] = {}
+
+    # ------------------------------------------------------------------
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        if self.column_means_ is None:
+            raise RuntimeError("fit() must be called first")
+        return (np.asarray(x, dtype=np.float64) - self.column_means_) / (
+            self.column_scales_)
+
+    def fit(self, design: np.ndarray, phenotypes: np.ndarray,
+            integer_columns: np.ndarray | None = None) -> "RRSession":
+        """Fit ``beta = (X^T X + lambda*I)^{-1} X^T Y`` (Eq. 2).
+
+        The Gram matrix runs through the mixed INT8/FP32 SYRK, the
+        factorization through the tiled mixed-precision Cholesky with
+        the configured precision plan, and the solves in the working
+        precision — identical numerics to the historical estimator.
+        """
+        cfg = self.config
+        design = np.asarray(design, dtype=np.float64)
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        n, p = design.shape
+        if phenotypes.shape[0] != n:
+            raise ValueError("design and phenotypes must have the same number of rows")
+
+        flops_by_precision: dict[Precision, float] = {}
+
+        def account(flops: int, precision: Precision) -> None:
+            flops_by_precision[precision] = (
+                flops_by_precision.get(precision, 0.0) + flops)
+
+        # --- Gram matrix on raw columns via the mixed INT8/FP32 SYRK
+        gram_raw = syrk(design, tile_size=cfg.tile_size,
+                        integer_columns=integer_columns,
+                        output_precision=Precision.FP64,
+                        accumulate_callback=account)
+
+        # Standardize the Gram matrix analytically:
+        #   X_std = (X - 1 μᵀ) D⁻¹  ⇒  X_stdᵀ X_std = D⁻¹ (XᵀX − n μ μᵀ) D⁻¹
+        mu = design.mean(axis=0)
+        scales = design.std(axis=0)
+        scales[scales == 0] = 1.0
+        self.column_means_, self.column_scales_ = mu, scales
+        gram = (gram_raw - n * np.outer(mu, mu)) / np.outer(scales, scales)
+
+        # --- regularize and factorize with the precision plan
+        a = gram + cfg.regularization * np.eye(p)
+        layout = TileLayout.square(p, cfg.tile_size)
+        plan: PrecisionPlan = cfg.precision_plan
+        pmap = plan.precision_map(layout, matrix=a)
+        fact = cholesky(a, tile_size=cfg.tile_size,
+                        working_precision=plan.working_precision,
+                        precision_map=pmap)
+        for prec, fl in fact.flops_by_precision.items():
+            flops_by_precision[prec] = flops_by_precision.get(prec, 0.0) + fl
+
+        # --- XᵀY in FP32 and the triangular solves
+        x_std = self._standardize(design)
+        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
+        self.y_means_ = phenotypes.mean(axis=0)
+        xty = gemm(x_std, y_centered, tile_size=cfg.tile_size,
+                   precision=Precision.FP32, transa=True)
+        beta = solve_cholesky(fact, xty, precision=plan.working_precision)
+
+        self.beta_ = np.asarray(beta, dtype=np.float64)
+        self.factorization_ = fact
+        self.flops_by_precision = flops_by_precision
+        self.flops_ = float(sum(flops_by_precision.values()))
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, design: np.ndarray) -> np.ndarray:
+        """Predict phenotypes for new individuals (test design matrix)."""
+        if self.beta_ is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x_std = self._standardize(design)
+        pred = gemm(x_std, self.beta_, tile_size=self.config.tile_size,
+                    precision=Precision.FP32)
+        return pred + self.y_means_[None, :]
+
+    def fit_predict(self, train_design: np.ndarray,
+                    train_phenotypes: np.ndarray,
+                    test_design: np.ndarray,
+                    integer_columns: np.ndarray | None = None) -> np.ndarray:
+        """Fit on the training set and predict the test set in one call."""
+        self.fit(train_design, train_phenotypes, integer_columns=integer_columns)
+        return self.predict(test_design)
+
+    def solve_additional_phenotypes(self, design: np.ndarray,
+                                    phenotypes: np.ndarray) -> np.ndarray:
+        """Solve extra phenotype panels reusing the existing factorization."""
+        if self.factorization_ is None:
+            raise RuntimeError("fit() must be called before reusing the factors")
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        x_std = self._standardize(design)
+        y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
+        xty = gemm(x_std, y_centered, tile_size=self.config.tile_size,
+                   precision=Precision.FP32, transa=True)
+        return solve_cholesky(self.factorization_, xty,
+                              precision=self.config.precision_plan.working_precision)

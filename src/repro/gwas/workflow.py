@@ -15,9 +15,8 @@ import numpy as np
 
 from repro.data.dataset import GWASDataset, TrainTestSplit
 from repro.gwas.config import KRRConfig, RRConfig
-from repro.gwas.krr import KernelRidgeRegressionGWAS
 from repro.gwas.metrics import accuracy_report
-from repro.gwas.ridge import RidgeRegressionGWAS
+from repro.gwas.session import KRRSession, RRSession
 
 __all__ = ["GWASWorkflow", "WorkflowResult"]
 
@@ -78,8 +77,8 @@ class GWASWorkflow:
     def run_rr(self, config: RRConfig | None = None) -> WorkflowResult:
         """Linear ridge-regression GWAS on the split."""
         train, test = self.split.train, self.split.test
-        model = RidgeRegressionGWAS(config)
-        predictions = model.fit_predict(
+        session = RRSession(config)
+        predictions = session.fit_predict(
             train.design_matrix(), train.phenotypes, test.design_matrix(),
             integer_columns=train.integer_column_mask(),
         )
@@ -88,18 +87,17 @@ class GWASWorkflow:
         return WorkflowResult(method="rr", report=report, predictions=predictions)
 
     def run_krr(self, config: KRRConfig | None = None) -> WorkflowResult:
-        """Kernel ridge-regression GWAS on the split."""
+        """Kernel ridge-regression GWAS on the split (tile-native session)."""
         train, test = self.split.train, self.split.test
-        model = KernelRidgeRegressionGWAS(config)
-        predictions = model.fit_predict(
+        session = KRRSession(config)
+        predictions = session.fit_predict(
             train.genotypes, train.phenotypes, test.genotypes,
             train_confounders=train.confounders, test_confounders=test.confounders,
         )
         report = accuracy_report(test.phenotypes, predictions,
                                  self.dataset.phenotype_names)
-        phase_flops = dict(model.model_.phase_flops) if model.model_ else {}
         return WorkflowResult(method="krr", report=report, predictions=predictions,
-                              phase_flops=phase_flops)
+                              phase_flops=dict(session.phase_flops))
 
     def compare(self, rr_config: RRConfig | None = None,
                 krr_config: KRRConfig | None = None) -> dict[str, WorkflowResult]:

@@ -132,14 +132,11 @@ def cholesky(
         tiled = TileMatrix.from_dense(matrix, tile_size, working_precision,
                                       symmetric=False)
     else:
-        tiled = matrix.copy()
-        if tiled.symmetric:
-            # materialize to a full (non-symmetric storage) tiled matrix so
-            # the factor can be stored without mirroring surprises
-            tiled = TileMatrix.from_dense(
-                matrix.to_dense(), matrix.tile_size,
-                lambda i, j: matrix.tile_precision(i, j), symmetric=False,
-            )
+        # Tile-level workspace copy: the factorization only ever reads
+        # lower-triangle tiles, so symmetric storage unpacks tile by
+        # tile (per-tile precisions preserved) and dense n x n arrays
+        # never exist on this path.
+        tiled = matrix.unpacked_lower() if matrix.symmetric else matrix.copy()
 
     layout = tiled.layout
     if layout.rows != layout.cols:

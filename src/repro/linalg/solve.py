@@ -18,25 +18,67 @@ from repro.linalg.cholesky import CholeskyResult
 from repro.tiles.matrix import TileMatrix
 
 
-def solve_triangular(factor: TileMatrix | np.ndarray, rhs: np.ndarray,
+def _rhs_blocks(factor: TileMatrix, rhs: TileMatrix | np.ndarray,
+                precision: Precision) -> dict[int, np.ndarray]:
+    """Split the right-hand side into per-tile-row blocks.
+
+    A dense panel is sliced by the factor's tile rows; a tiled panel
+    (``TileMatrix`` right-hand side) hands over its tile rows directly,
+    so the solve consumes the same tile granularity the factorization
+    produced — no dense staging of the panel is required.
+    """
+    layout = factor.layout
+    blocks: dict[int, np.ndarray] = {}
+    if isinstance(rhs, TileMatrix):
+        if rhs.layout.rows != layout.cols:
+            raise ValueError("right-hand side rows must match the factor order")
+        if rhs.layout.tile_size != layout.tile_size:
+            raise ValueError("tiled right-hand side must share the factor tile size")
+        for i in range(rhs.layout.tile_rows):
+            row = np.hstack([rhs.get_tile(i, j).to_float64()
+                             for j in range(rhs.layout.tile_cols)])
+            blocks[i] = np.asarray(quantize(row, precision), dtype=np.float64)
+        return blocks
+    rhs64 = np.asarray(rhs, dtype=np.float64)
+    for i in range(layout.tile_rows):
+        ri = layout.tile_slice(i, 0)[0]
+        blocks[i] = np.asarray(quantize(rhs64[ri], precision), dtype=np.float64)
+    return blocks
+
+
+def solve_triangular(factor: TileMatrix | np.ndarray,
+                     rhs: np.ndarray | TileMatrix,
                      lower: bool = True, trans: bool = False,
-                     precision: Precision | str = Precision.FP32) -> np.ndarray:
+                     precision: Precision | str = Precision.FP32
+                     ) -> np.ndarray | TileMatrix:
     """Solve ``op(L) X = B`` with a (tiled or dense) triangular factor.
 
     The solve is performed blockwise by tile columns (forward) or
     reversed (backward), quantizing intermediate panels to the working
     precision after each block update — the same rounding pattern as a
     tile-by-tile runtime execution.
+
+    ``rhs`` may be a dense panel or a :class:`TileMatrix` panel whose
+    row tiling matches the factor; a tiled right-hand side streams
+    through the solve per tile row and the solution is returned as a
+    :class:`TileMatrix` with the same layout.
     """
     precision = Precision.from_string(precision)
-    rhs64 = np.asarray(rhs, dtype=np.float64)
-    if rhs64.ndim == 1:
-        rhs64 = rhs64[:, None]
-        squeeze = True
+    tiled_rhs = isinstance(rhs, TileMatrix)
+    if not tiled_rhs:
+        rhs64 = np.asarray(rhs, dtype=np.float64)
+        if rhs64.ndim == 1:
+            rhs64 = rhs64[:, None]
+            squeeze = True
+        else:
+            squeeze = False
     else:
+        rhs64 = rhs
         squeeze = False
 
     if isinstance(factor, np.ndarray):
+        if tiled_rhs:
+            raise ValueError("a tiled right-hand side requires a tiled factor")
         l64 = np.asarray(factor, dtype=np.float64)
         op = l64.T if trans else l64
         x = scipy.linalg.solve_triangular(op, rhs64, lower=(lower != trans))
@@ -45,55 +87,61 @@ def solve_triangular(factor: TileMatrix | np.ndarray, rhs: np.ndarray,
 
     layout = factor.layout
     nt = layout.tile_rows
-    nb = layout.tile_size
-    x = np.array(quantize(rhs64, precision), dtype=np.float64)
-
-    def row_slice(i: int) -> slice:
-        return layout.tile_slice(i, 0)[0]
+    x = _rhs_blocks(factor, rhs64, precision)
 
     if (lower and not trans) or (not lower and trans):
         # forward substitution over tile rows
-        order = range(nt)
-        for i in order:
-            ri = row_slice(i)
-            acc = x[ri].copy()
+        for i in range(nt):
+            acc = x[i].copy()
             for j in range(i):
-                rj = row_slice(j)
                 lij = factor.get_tile(i, j).to_float64() if lower else \
                     factor.get_tile(j, i).to_float64().T
-                acc -= lij @ x[rj]
+                acc -= lij @ x[j]
                 acc = np.asarray(quantize(acc, precision), dtype=np.float64)
             lii = factor.get_tile(i, i).to_float64()
             diag = lii if lower else lii.T
-            x[ri] = scipy.linalg.solve_triangular(diag, acc, lower=True)
-            x[ri] = np.asarray(quantize(x[ri], precision), dtype=np.float64)
+            x[i] = scipy.linalg.solve_triangular(diag, acc, lower=True)
+            x[i] = np.asarray(quantize(x[i], precision), dtype=np.float64)
     else:
         # backward substitution over tile rows
         for i in reversed(range(nt)):
-            ri = row_slice(i)
-            acc = x[ri].copy()
+            acc = x[i].copy()
             for j in range(i + 1, nt):
-                rj = row_slice(j)
                 # op(L)[i, j] with op = transpose of a lower factor
                 lji = factor.get_tile(j, i).to_float64() if lower else \
                     factor.get_tile(i, j).to_float64().T
-                acc -= lji.T @ x[rj]
+                acc -= lji.T @ x[j]
                 acc = np.asarray(quantize(acc, precision), dtype=np.float64)
             lii = factor.get_tile(i, i).to_float64()
             diag = (lii if lower else lii.T).T
-            x[ri] = scipy.linalg.solve_triangular(diag, acc, lower=False)
-            x[ri] = np.asarray(quantize(x[ri], precision), dtype=np.float64)
+            x[i] = scipy.linalg.solve_triangular(diag, acc, lower=False)
+            x[i] = np.asarray(quantize(x[i], precision), dtype=np.float64)
 
-    return x[:, 0] if squeeze else x
+    if tiled_rhs:
+        out = TileMatrix(rhs64.layout, precision, symmetric=False)
+        for i in range(nt):
+            c0 = 0
+            for j in range(rhs64.layout.tile_cols):
+                w = rhs64.layout.tile_shape(i, j)[1]
+                out.set_tile(i, j, x[i][:, c0:c0 + w], precision=precision)
+                c0 += w
+        return out
+    # C-ordered result, as the historical in-place dense solve returned
+    # (downstream GEMMs are layout-sensitive at the last bit)
+    dense = np.ascontiguousarray(np.vstack([x[i] for i in range(nt)]))
+    return dense[:, 0] if squeeze else dense
 
 
 def solve_cholesky(factorization: CholeskyResult | TileMatrix | np.ndarray,
-                   rhs: np.ndarray,
-                   precision: Precision | str = Precision.FP32) -> np.ndarray:
+                   rhs: np.ndarray | TileMatrix,
+                   precision: Precision | str = Precision.FP32
+                   ) -> np.ndarray | TileMatrix:
     """POTRS: solve ``A X = B`` given the lower Cholesky factor of ``A``.
 
     Performs the forward solve ``L Y = B`` followed by the backward
-    solve ``L^T X = Y``, both in the given working precision.
+    solve ``L^T X = Y``, both in the given working precision.  A
+    :class:`TileMatrix` right-hand-side panel is solved per tile row
+    against the tiled factors and returned tiled.
     """
     if isinstance(factorization, CholeskyResult):
         factor: TileMatrix | np.ndarray = factorization.factor

@@ -250,10 +250,74 @@ class TileMatrix:
             out[t.precision] = out.get(t.precision, 0) + t.nbytes
         return out
 
+    # ------------------------------------------------------------------
+    # diagonal regularization (tile-native, no dense round-trip)
+    # ------------------------------------------------------------------
+    def add_diagonal(self, alpha: float) -> "TileMatrix":
+        """Add ``alpha`` to the matrix diagonal in place.
+
+        Only the diagonal *tiles* are touched — this is how the solver
+        sessions regularize ``K + alpha*I`` without copying (or even
+        reading) the off-diagonal part of the kernel.  Each diagonal
+        tile keeps its storage precision.  Returns ``self`` for
+        chaining.
+        """
+        if self.layout.rows != self.layout.cols:
+            raise ValueError("add_diagonal requires a square matrix")
+        for d in range(self.layout.tile_rows):
+            tile = self.get_tile(d, d)
+            data = tile.to_float64()
+            k = min(data.shape)
+            data[np.arange(k), np.arange(k)] += alpha
+            self.set_tile(d, d, data, precision=tile.precision)
+        return self
+
+    def shift_diagonal(self, old_alpha: float, new_alpha: float) -> "TileMatrix":
+        """Replace a diagonal shift ``old_alpha`` with ``new_alpha`` in place.
+
+        The regularization-boost retry loop of the Associate phase uses
+        this to move from ``K + old*I`` to ``K + new*I`` by updating
+        only the diagonal tiles, instead of re-copying the matrix per
+        attempt.  Returns ``self`` for chaining.
+        """
+        return self.add_diagonal(new_alpha - old_alpha)
+
     def copy(self) -> "TileMatrix":
         dup = TileMatrix(self.layout, self.default_precision, self.symmetric)
         dup._tiles = {k: t.copy() for k, t in self._tiles.items()}
         return dup
+
+    def shallow_copy(self) -> "TileMatrix":
+        """Copy the tile *grid* while sharing the tile objects.
+
+        :meth:`set_tile` (and therefore :meth:`add_diagonal` /
+        :meth:`shift_diagonal`) replaces tile objects rather than
+        mutating them, so writes through those paths never propagate to
+        the source — copy-on-write at tile granularity.  This is what
+        lets the Associate phase regularize ``K + alpha*I`` while
+        allocating only new *diagonal* tiles.  In-place tile mutation
+        (``Tile.update``/``Tile.convert_``, ``apply_precision_map``)
+        would be shared; callers that need those must :meth:`copy`.
+        """
+        dup = TileMatrix(self.layout, self.default_precision, self.symmetric)
+        dup._tiles = dict(self._tiles)
+        return dup
+
+    def unpacked_lower(self) -> "TileMatrix":
+        """Tile-level copy with non-symmetric storage, lower triangle only.
+
+        This is the factorization workspace constructor: the tiled
+        Cholesky consumes only the lower-triangle tiles, so symmetric
+        kernels hand over per-tile copies (keeping each tile's storage
+        precision) without ever materializing a dense array.  Upper
+        tiles are left unmaterialized (they read as zeros).
+        """
+        out = TileMatrix(self.layout, self.default_precision, symmetric=False)
+        for key in self.layout.iter_lower_tiles():
+            tile = self._tiles.get(key)
+            if tile is not None:
+                out._tiles[key] = tile.copy()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sym = ", symmetric" if self.symmetric else ""

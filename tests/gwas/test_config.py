@@ -112,3 +112,43 @@ class TestKRRConfig:
             KRRConfig(kernel_type="linear")
         with pytest.raises(ValueError):
             KRRConfig(tile_size=-2)
+
+
+class TestWithOptions:
+    def test_krr_with_options_replaces_fields(self):
+        base = KRRConfig(alpha=0.5, gamma=0.01, tile_size=64)
+        derived = base.with_options(alpha=2.0, gamma=0.1)
+        assert derived.alpha == 2.0 and derived.gamma == 0.1
+        assert derived.tile_size == 64
+        # the original is untouched (frozen dataclass semantics)
+        assert base.alpha == 0.5
+
+    def test_rr_with_options(self):
+        base = RRConfig(regularization=1.0)
+        assert base.with_options(regularization=9.0).regularization == 9.0
+
+    def test_precision_plan_with_options(self):
+        plan = PrecisionPlan.adaptive_fp16().with_options(accuracy=1e-2)
+        assert plan.accuracy == 1e-2
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown KRRConfig option"):
+            KRRConfig().with_options(aplha=1.0)  # typo on purpose
+
+    def test_validation_reruns_on_replace(self):
+        with pytest.raises(ValueError):
+            KRRConfig().with_options(alpha=-1.0)
+
+    def test_string_precisions_normalized(self):
+        cfg = KRRConfig().with_options(snp_precision="fp32")
+        assert cfg.snp_precision is Precision.FP32
+
+
+class TestPredictBatchRows:
+    def test_default_batch(self):
+        assert KRRConfig().predict_batch_rows == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KRRConfig(predict_batch_rows=0)
+        assert KRRConfig(predict_batch_rows=None).predict_batch_rows is None

@@ -154,3 +154,33 @@ class TestFlopsFormula:
         a = _spd(96)
         result = cholesky(a, tile_size=16)
         assert result.flops == pytest.approx(cholesky_flops(96), rel=0.25)
+
+
+class TestTileNativeInput:
+    def test_symmetric_tile_input_never_densifies(self):
+        from unittest import mock
+
+        from repro.tiles.matrix import TileMatrix
+
+        a = _spd(64)
+        sym = TileMatrix.from_dense(a, tile_size=16, symmetric=True)
+
+        def forbidden(self, *args, **kwargs):
+            raise AssertionError("cholesky densified its TileMatrix input")
+
+        with mock.patch.object(TileMatrix, "to_dense", forbidden):
+            result = cholesky(sym, working_precision=Precision.FP64)
+        np.testing.assert_allclose(result.to_dense(), np.linalg.cholesky(a),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_symmetric_tile_input_matches_dense_input(self):
+        from repro.tiles.matrix import TileMatrix
+
+        a = _spd(80)
+        dense_result = cholesky(a, tile_size=16, working_precision=Precision.FP32)
+        sym = TileMatrix.from_dense(a, tile_size=16, symmetric=True,
+                                    precision=Precision.FP32)
+        tiled_result = cholesky(sym, working_precision=Precision.FP32)
+        np.testing.assert_array_equal(tiled_result.to_dense(),
+                                      dense_result.to_dense())
+        assert tiled_result.flops == dense_result.flops

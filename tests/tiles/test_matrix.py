@@ -153,3 +153,79 @@ class TestRoundtripProperty:
         dense = rng.normal(size=(rows, cols))
         tm = TileMatrix.from_dense(dense, tile_size=tile_size)
         np.testing.assert_array_equal(tm.to_dense(), dense)
+
+
+class TestDiagonalShift:
+    def test_add_diagonal_matches_dense(self, rng):
+        a = rng.normal(size=(50, 50))
+        a = a + a.T
+        tm = TileMatrix.from_dense(a, tile_size=16)
+        tm.add_diagonal(0.75)
+        np.testing.assert_array_equal(tm.to_dense(), a + 0.75 * np.eye(50))
+
+    def test_add_diagonal_symmetric_storage(self, rng):
+        a = rng.normal(size=(48, 48))
+        a = a + a.T
+        tm = TileMatrix.from_dense(a, tile_size=16, symmetric=True)
+        tm.add_diagonal(2.0)
+        np.testing.assert_array_equal(tm.to_dense(), a + 2.0 * np.eye(48))
+
+    def test_add_diagonal_touches_only_diagonal_tiles(self, rng):
+        a = rng.normal(size=(48, 48))
+        tm = TileMatrix.from_dense(a + a.T, tile_size=16, symmetric=True)
+        before = {
+            (i, j): tm.get_tile(i, j)
+            for i in range(3) for j in range(i)
+        }
+        tm.add_diagonal(1.0)
+        for (i, j), tile in before.items():
+            # off-diagonal tiles are the exact same objects, untouched
+            assert tm.get_tile(i, j) is tile
+
+    def test_add_diagonal_preserves_tile_precision(self, rng):
+        a = rng.normal(size=(32, 32))
+        tm = TileMatrix.from_dense(
+            a + a.T, tile_size=16,
+            precision=lambda i, j: Precision.FP32 if i == j else Precision.FP16)
+        tm.add_diagonal(0.5)
+        assert tm.tile_precision(0, 0) is Precision.FP32
+        assert tm.tile_precision(1, 0) is Precision.FP16
+
+    def test_shift_diagonal_moves_the_regularization(self, rng):
+        a = rng.normal(size=(40, 40))
+        a = a + a.T
+        tm = TileMatrix.from_dense(a, tile_size=16)
+        tm.add_diagonal(1.0)
+        tm.shift_diagonal(1.0, 10.0)
+        np.testing.assert_allclose(tm.to_dense(), a + 10.0 * np.eye(40))
+
+    def test_add_diagonal_requires_square(self, dense):
+        tm = TileMatrix.from_dense(dense, tile_size=16)  # 50 x 30
+        with pytest.raises(ValueError):
+            tm.add_diagonal(1.0)
+
+
+class TestUnpackedLower:
+    def test_lower_triangle_matches_symmetric_source(self, rng):
+        a = rng.normal(size=(50, 50))
+        a = a + a.T
+        sym = TileMatrix.from_dense(a, tile_size=16, symmetric=True)
+        unpacked = sym.unpacked_lower()
+        assert not unpacked.symmetric
+        np.testing.assert_array_equal(np.tril(unpacked.to_dense()), np.tril(a))
+
+    def test_copy_is_independent(self, rng):
+        a = rng.normal(size=(32, 32))
+        sym = TileMatrix.from_dense(a + a.T, tile_size=16, symmetric=True)
+        unpacked = sym.unpacked_lower()
+        unpacked.set_tile(1, 0, np.zeros((16, 16)))
+        assert not np.allclose(sym.get_tile(1, 0).to_float64(), 0.0)
+
+    def test_preserves_tile_precisions(self, rng):
+        a = rng.normal(size=(32, 32))
+        sym = TileMatrix.from_dense(
+            a + a.T, tile_size=16, symmetric=True,
+            precision=lambda i, j: Precision.FP32 if i == j else Precision.FP16)
+        unpacked = sym.unpacked_lower()
+        assert unpacked.tile_precision(0, 0) is Precision.FP32
+        assert unpacked.tile_precision(1, 0) is Precision.FP16
