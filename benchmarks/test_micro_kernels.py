@@ -107,7 +107,10 @@ def test_conversion_placement_ablation(benchmark):
             for t in layout.iter_tiles()}
 
     def run(adaptive: bool) -> int:
-        runtime = Runtime(num_devices=4, adaptive_conversion=adaptive)
+        # conversion placement is a property of the simulated transfer
+        # ledger; the threaded host executor moves no bytes
+        runtime = Runtime(num_devices=4, adaptive_conversion=adaptive,
+                          execution="simulated")
         cholesky(a, tile_size=32, precision_map=pmap, runtime=runtime)
         return runtime.comm.total_bytes
 

@@ -53,12 +53,18 @@ def main() -> None:
         TileLayout.square(n, args.tile_size), matrix=a)
 
     print(f"Factorizing through the task runtime on {args.devices} simulated GPUs ...")
-    runtime = Runtime(num_devices=args.devices)
+    # execution="simulated" keeps the device-timing model this example
+    # reports on; the default ("threaded") executes the same DAG for
+    # real on a worker pool — see docs/architecture.md
+    runtime = Runtime(num_devices=args.devices, execution="simulated")
     result = cholesky(a, tile_size=args.tile_size, working_precision="fp32",
                       precision_map=plan_map, runtime=runtime)
 
-    print(f"\nTask DAG: {runtime.graph.num_tasks} tasks, "
-          f"{runtime.graph.num_edges} dependency edges")
+    # run() drains the pending graph; the executed DAG is retained
+    graph = runtime.last_graph
+    print(f"\nTask DAG: {graph.num_tasks} tasks, "
+          f"{graph.num_edges} dependency edges "
+          f"(critical path: {graph.critical_path_length()} tasks)")
     print("Task mix:", result.task_counts)
     print("Operation count by precision:",
           {p.value: f"{f:.3e}" for p, f in result.flops_by_precision.items()})

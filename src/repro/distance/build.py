@@ -17,19 +17,26 @@
    array) at the requested storage precision.
 
 The symmetric training Build never materializes the full dense FP64
-kernel: tiles flow from the (optionally thread-parallel — BLAS releases
-the GIL) tile loop into symmetric tile storage, and the adaptive
-precision rule is applied tile-wise from the streamed container.  Peak
-dense temporaries are a handful of single tiles, tracked in
-:class:`BuildStats` so tests can assert the memory behaviour.
+kernel: tiles flow from the tile-row task loop into symmetric tile
+storage, and the adaptive precision rule is applied tile-wise from the
+streamed container.  Peak dense temporaries are a handful of single
+tiles, tracked in :class:`BuildStats` so tests can assert the memory
+behaviour.
+
+Concurrency is owned by the task runtime, not by this module: each
+block row of tiles becomes a *row task* (the Gram/distance/kernel
+pipeline, BLAS releases the GIL) and a *consume task* (streaming the
+finished row into tile storage).  Consume tasks read-write the shared
+output handle, so the derived dependency chain serializes all
+container mutation on one worker while row tasks of different rows
+execute out of order — the same separation the hand-rolled thread pool
+provided, now expressed as dataflow.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -42,6 +49,8 @@ from repro.precision.gemm import (
     integer_gemm_dtype,
     variant_for_input,
 )
+from repro.runtime.runtime import Runtime, resolve_execution, resolve_workers
+from repro.runtime.task import AccessMode
 from repro.tiles.adaptive import AdaptivePrecisionRule, decide_tile_precisions
 from repro.tiles.layout import TileLayout
 from repro.tiles.matrix import TileMatrix
@@ -107,49 +116,6 @@ class BuildResult:
         if isinstance(self.kernel, TileMatrix):
             return self.kernel.to_dense()
         return np.asarray(self.kernel)
-
-
-def _resolve_workers(workers: int | None) -> int:
-    """Resolve the tile-loop thread count (default: sequential).
-
-    Threading is opt-in: BLAS libraries typically run their own thread
-    team per GEMM, so silently stacking a Python thread pool on top
-    would oversubscribe the host for every existing caller.  Callers
-    that have configured their BLAS threading (or run many small tiles)
-    opt in with an explicit ``workers``.
-    """
-    if workers is not None:
-        return max(1, int(workers))
-    return 1
-
-
-def _windowed_map(fn: Callable, tasks: Sequence, workers: int,
-                  window_factor: int = 4) -> Iterator[tuple[object, object]]:
-    """Yield ``(task, fn(task))`` with a bounded number of tasks in flight.
-
-    Completed results are consumed as they finish (unordered), so the
-    number of live tile temporaries is bounded by the submission window
-    rather than the total tile count.
-    """
-    if workers <= 1:
-        for task in tasks:
-            yield task, fn(task)
-        return
-    window = max(workers * window_factor, 1)
-    with ThreadPoolExecutor(max_workers=workers) as executor:
-        pending = {}
-        for task in tasks[:window]:
-            pending[executor.submit(fn, task)] = task
-        submitted = min(window, len(tasks))
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                task = pending.pop(future)
-                yield task, future.result()
-                if submitted < len(tasks):
-                    nxt = tasks[submitted]
-                    submitted += 1
-                    pending[executor.submit(fn, nxt)] = nxt
 
 
 @dataclass
@@ -227,9 +193,22 @@ class KernelBuilder:
     snp_block:
         Column blocking of the SNP dimension inside each Gram tile.
     workers:
-        Worker threads of the tile loop (BLAS releases the GIL, so tile
-        GEMMs genuinely overlap).  ``None`` picks ``min(8, cpu_count)``;
-        1 keeps the loop sequential.
+        Worker threads of the tile-row tasks (BLAS releases the GIL, so
+        tile GEMMs genuinely overlap).  ``None`` resolves through
+        ``REPRO_WORKERS`` and then ``min(8, cpu_count)``; 1 drains the
+        task DAG serially.  Ignored when an external ``runtime`` is
+        given (the runtime owns concurrency).
+    execution:
+        Execution mode of an internally created runtime (``"threaded"``
+        by default; ``None`` resolves ``REPRO_EXECUTION``).
+    runtime:
+        Optional session-long :class:`~repro.runtime.runtime.Runtime`.
+        When given, Build tasks are inserted there and the run is
+        tagged with ``trace_phase``, feeding the session's trace-based
+        flop accounting.
+    trace_phase:
+        Phase label of the runtime runs (``"build"``; the solver
+        sessions relabel their Predict-phase cross-kernel builds).
     """
 
     kernel_type: str = "gaussian"
@@ -241,6 +220,9 @@ class KernelBuilder:
     storage_precision: Precision | str = Precision.FP32
     snp_block: int = 4096
     workers: int | None = None
+    execution: str | None = None
+    runtime: Runtime | None = None
+    trace_phase: str = "build"
 
     def __post_init__(self) -> None:
         self.snp_precision = Precision.from_string(self.snp_precision)
@@ -531,46 +513,93 @@ class KernelBuilder:
                       symmetric: bool,
                       consume: Callable[[tuple[int, int], np.ndarray], None],
                       flops_box: list, by_prec: dict, stats: BuildStats) -> None:
-        """Run the tile loop, streaming finished kernel tiles to ``consume``.
+        """Insert the tile-row task DAG and run it through the runtime.
 
-        Tile tasks are independent (each reads shared quantized operands
-        and writes only its own temporaries), so they run on a thread
-        pool; results are consumed in completion order on the caller's
-        thread, which keeps ``TileMatrix`` mutation single-threaded.
-
-        One task per block row of tiles: the Gram product then runs as
+        One *row task* per block row of tiles: the Gram product runs as
         a (tile_size x ns) @ (ns x row_width) dgemm — large enough for
         BLAS to reach peak — while the peak dense temporary stays at
         one tile row.  For the symmetric case a row task covers only
-        the lower-triangle width.
+        the lower-triangle width.  Row tasks read the shared operand
+        context and write their own row handle, so the scheduler runs
+        them out of order; the per-row *consume tasks* read-write the
+        output handle, which derives a WAW/RAW chain serializing all
+        container mutation (and the flop accounting) in row order.
         """
         ctx = self._prepare_operands(g1, g2, c1, c2, symmetric)
         n2 = ctx.n2
         layout = TileLayout(rows=ctx.n1, cols=n2, tile_size=self.tile_size)
 
-        tasks = list(range(layout.tile_rows))
-        workers = _resolve_workers(self.workers)
-        stats.workers = workers
-        stats.tile_tasks = len(tasks)
+        rt = self.runtime
+        if rt is None:
+            rt = Runtime(execution=resolve_execution(self.execution),
+                         workers=resolve_workers(self.workers))
+        stats.workers = rt.workers if rt.execution == "threaded" else 1
+        stats.tile_tasks = layout.tile_rows
 
-        def row_task(bi: int) -> np.ndarray:
+        rt.require_drained("KernelBuilder streaming")
+        ns = rt.namespace("build")
+        ctx_h = rt.register_data(f"{ns}operands", shape=())
+        out_h = rt.register_data(f"{ns}K", shape=())
+        row_handles = []
+        # Bounded submission window, expressed as dataflow: row task bi
+        # reads the handle that consume task bi-window read-writes, so
+        # at most `window` row payloads are ever in flight (the same
+        # memory contract the historical windowed thread pool enforced).
+        window = max(rt.workers * 4, 1)
+
+        def make_row_body(bi: int, rs: slice, col_end: int):
+            def body(_operands, _row, *_throttle):
+                return self._kernel_rows(ctx, rs, slice(0, col_end))
+            return body
+
+        def make_consume_body(row_h, bi: int, rs: slice, col_tiles: int):
+            mb = rs.stop - rs.start
+
+            def body(row_k, _sink):
+                # the consume chain is serialized by the scheduler, so
+                # stats/flops mutation needs no further synchronization
+                stats.note_temp(row_k.size)
+                for bj in range(col_tiles):
+                    cs = layout.tile_slice(bi, bj)[1]
+                    tile_flops, _ = self._block_flops(
+                        ctx, mb, cs.stop - cs.start, by_prec)
+                    flops_box[0] += tile_flops
+                    consume((bi, bj), row_k[:, cs])
+                # the row block is dead once streamed into tile storage
+                row_h.payload = None
+            return body
+
+        for bi in range(layout.tile_rows):
             rs = layout.tile_slice(bi, 0)[0]
             col_end = min((bi + 1) * layout.tile_size, n2) if symmetric else n2
-            return self._kernel_rows(ctx, rs, slice(0, col_end))
-
-        for bi, row_k in _windowed_map(row_task, tasks, workers):
-            # allocation accounting happens on this (single) consumer
-            # thread; gram/dist/row_k in row_task all share row_k's shape
-            stats.note_temp(row_k.size)
-            rs = layout.tile_slice(bi, 0)[0]
-            mb = rs.stop - rs.start
             col_tiles = (bi + 1) if symmetric else layout.tile_cols
-            for bj in range(col_tiles):
-                cs = layout.tile_slice(bi, bj)[1]
-                tile_flops, _ = self._block_flops(ctx, mb, cs.stop - cs.start,
-                                                  by_prec)
-                flops_box[0] += tile_flops
-                consume((bi, bj), row_k[:, cs])
+            row_h = rt.register_data(f"{ns}row({bi})",
+                                     shape=(rs.stop - rs.start, col_end))
+            row_handles.append(row_h)
+            row_accesses = [(ctx_h, AccessMode.READ),
+                            (row_h, AccessMode.WRITE)]
+            if bi >= window:
+                row_accesses.append(
+                    (row_handles[bi - window], AccessMode.READ))
+            row_flops, row_detail = self._block_flops(ctx, rs.stop - rs.start,
+                                                      col_end)
+            rt.insert_task(
+                "build_row", *row_accesses,
+                body=make_row_body(bi, rs, col_end),
+                flops=row_flops, precision=self.snp_precision,
+                flops_detail=row_detail, tag=bi,
+            )
+            rt.insert_task(
+                "consume_row",
+                (row_h, AccessMode.READWRITE), (out_h, AccessMode.READWRITE),
+                body=make_consume_body(row_h, bi, rs, col_tiles),
+                flops=0.0, precision=self.storage_precision,
+                priority=layout.tile_rows - bi, tag=bi,
+            )
+        try:
+            rt.run(phase=self.trace_phase)
+        finally:
+            rt.release(ns)
 
 
 def build_kernel_matrix(genotypes: np.ndarray,

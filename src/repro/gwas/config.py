@@ -14,6 +14,7 @@ the paper's accuracy experiments sweep:
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import ClassVar
 
@@ -180,6 +181,22 @@ class PrecisionPlan(_WithOptionsMixin):
         return decide_tile_precisions(matrix, self.adaptive_rule())
 
 
+#: Execution modes accepted by the session configs (mirrors
+#: :data:`repro.runtime.scheduler.EXECUTION_MODES`, kept literal here so
+#: config validation does not import the runtime package).
+_EXECUTION_MODES = ("threaded", "serial", "simulated")
+
+
+def _validate_execution_knobs(cfg) -> None:
+    if cfg.execution is not None and cfg.execution not in _EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {_EXECUTION_MODES} (or None), got "
+            f"{cfg.execution!r}"
+        )
+    if cfg.workers is not None and cfg.workers <= 0:
+        raise ValueError("workers must be positive (or None)")
+
+
 @dataclass(frozen=True)
 class RRConfig(_WithOptionsMixin):
     """Ridge-regression GWAS configuration (Eq. 1–2).
@@ -195,18 +212,28 @@ class RRConfig(_WithOptionsMixin):
     snp_precision:
         Input precision of the SNP part of the SYRK (INT8 engages the
         emulated tensor-core path).
+    workers:
+        Worker threads of the session's task runtime (``None`` resolves
+        through ``REPRO_WORKERS`` and then ``min(8, cpu_count)``).
+    execution:
+        Execution mode of the session's task runtime: ``"threaded"``
+        (default), ``"serial"`` or ``"simulated"``; ``None`` resolves
+        ``REPRO_EXECUTION``.
     """
 
     regularization: float = 1.0
     tile_size: int = 64
     precision_plan: PrecisionPlan = field(default_factory=PrecisionPlan.fp32)
     snp_precision: Precision = Precision.INT8
+    workers: int | None = None
+    execution: str | None = None
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
             raise ValueError("regularization must be non-negative")
         if self.tile_size <= 0:
             raise ValueError("tile_size must be positive")
+        _validate_execution_knobs(self)
         object.__setattr__(self, "snp_precision",
                            Precision.from_string(self.snp_precision))
 
@@ -229,9 +256,20 @@ class KRRConfig(_WithOptionsMixin):
         Mixed-precision plan of the Associate phase.
     snp_precision:
         Input precision of the distance Gram products (INT8 default).
+    workers:
+        Worker threads of the session's task runtime — one knob for
+        *every* phase (Build row tasks, Cholesky tiles, triangular
+        solves).  ``None`` resolves through the ``REPRO_WORKERS``
+        environment variable and then ``min(8, cpu_count)``.
+    execution:
+        Execution mode of the session's task runtime: ``"threaded"``
+        (default — real out-of-order DAG execution), ``"serial"`` (the
+        bitwise-identical reference drain) or ``"simulated"`` (the
+        device-timing model); ``None`` resolves ``REPRO_EXECUTION``.
     build_workers:
-        Worker threads of the Build-phase tile loop (``None`` lets the
-        builder pick ``min(8, cpu_count)``; 1 forces sequential).
+        **Deprecated** — the historical Build-only thread knob.  Still
+        honoured (it seeds ``workers`` when that is unset) with a
+        :class:`DeprecationWarning`; use ``workers`` instead.
     predict_batch_rows:
         Row-batch size of the streamed Predict phase: the test cohort
         is processed ``predict_batch_rows`` individuals at a time, so
@@ -258,6 +296,8 @@ class KRRConfig(_WithOptionsMixin):
     tile_size: int = 64
     precision_plan: PrecisionPlan = field(default_factory=PrecisionPlan.adaptive_fp16)
     snp_precision: Precision = Precision.INT8
+    workers: int | None = None
+    execution: str | None = None
     build_workers: int | None = None
     predict_batch_rows: int | None = 1024
     normalize_gamma: bool = True
@@ -273,6 +313,18 @@ class KRRConfig(_WithOptionsMixin):
             raise ValueError("kernel_type must be 'gaussian' or 'ibs'")
         if self.tile_size <= 0:
             raise ValueError("tile_size must be positive")
+        _validate_execution_knobs(self)
+        if self.build_workers is not None:
+            warnings.warn(
+                "KRRConfig.build_workers is deprecated; use the unified "
+                "'workers' knob (it drives every phase of the session's "
+                "task runtime, not just Build)",
+                DeprecationWarning, stacklevel=3,
+            )
+            if self.build_workers <= 0:
+                raise ValueError("build_workers must be positive (or None)")
+            if self.workers is None:
+                object.__setattr__(self, "workers", int(self.build_workers))
         object.__setattr__(self, "snp_precision",
                            Precision.from_string(self.snp_precision))
 

@@ -74,11 +74,17 @@ def grid_search_cv(
     n_folds: int = 3,
     base_config: KRRConfig | None = None,
     seed: int | None = 0,
+    workers: int | None = None,
+    execution: str | None = None,
 ) -> CrossValidationResult:
     """K-fold grid search over (α, γ) for the KRR GWAS model.
 
     Returns the pair minimizing the mean validation MSPE.  The kernel
-    type, tile size and precision plan are taken from ``base_config``.
+    type, tile size and precision plan are taken from ``base_config``;
+    ``workers`` / ``execution`` override the base config's task-runtime
+    knobs for every session the sweep spawns (each (fold, γ) session
+    owns one runtime that executes its Build, the per-α factorizations
+    and the validation predictions).
 
     The kernel matrix ``K`` depends on γ but **not** on α, so each
     (fold, γ) pair builds ``K`` and the validation cross kernel exactly
@@ -95,6 +101,10 @@ def grid_search_cv(
     if phenotypes.ndim == 1:
         phenotypes = phenotypes[:, None]
     base = base_config or KRRConfig()
+    if workers is not None:
+        base = base.with_options(workers=workers)
+    if execution is not None:
+        base = base.with_options(execution=execution)
 
     folds = kfold_indices(genotypes.shape[0], n_folds, seed=seed)
     scores: dict[tuple[float, float], float] = {}

@@ -24,6 +24,15 @@ The memory contract per phase:
   ``K_test_block · W`` per block; the peak cross-kernel temporary is
   one batch instead of the full ``n_test × n_train`` panel.
 
+Each session owns a single session-long
+:class:`~repro.runtime.runtime.Runtime`: every phase — the Build row
+tasks, the Cholesky tile tasks, the per-tile-row triangular-solve
+tasks and the per-batch Predict GEMMs — inserts its task DAG there and
+executes under one out-of-order threaded scheduler
+(``KRRConfig.workers`` / ``KRRConfig.execution``).  The runtime's
+per-phase traces are the source of the ``phase_flops`` /
+``flops_by_precision`` accounting.
+
 :class:`RRSession` gives the linear ridge-regression baseline the same
 staged session shape (gram → associate → predict) so the two methods
 are driven identically by :class:`~repro.gwas.workflow.GWASWorkflow`.
@@ -44,6 +53,7 @@ from repro.linalg.blas3 import gemm, syrk
 from repro.linalg.cholesky import CholeskyResult, cholesky
 from repro.linalg.solve import solve_cholesky
 from repro.precision.formats import Precision
+from repro.runtime.runtime import Runtime
 from repro.tiles.layout import TileLayout
 from repro.tiles.matrix import TileMatrix
 
@@ -94,6 +104,11 @@ class KRRSession:
         if overrides:
             config = config.with_options(**overrides)
         self.config = config
+        # The session-long task runtime: one scheduler executes every
+        # phase (Build row tasks, Cholesky tiles, triangular solves,
+        # Predict GEMMs) and its per-phase traces feed the accounting.
+        self.runtime = Runtime(execution=config.execution,
+                               workers=config.workers)
         # Build state
         self.build_result_: BuildResult | None = None
         self.kernel_: TileMatrix | None = None
@@ -113,7 +128,8 @@ class KRRSession:
     # ------------------------------------------------------------------
     # Phase 1: BUILD
     # ------------------------------------------------------------------
-    def _builder(self, gamma: float, adaptive: bool = False) -> KernelBuilder:
+    def _builder(self, gamma: float, adaptive: bool = False,
+                 trace_phase: str = "build") -> KernelBuilder:
         cfg = self.config
         plan: PrecisionPlan = cfg.precision_plan
         adaptive_rule = (plan.adaptive_rule()
@@ -125,7 +141,8 @@ class KRRSession:
             snp_precision=cfg.snp_precision,
             adaptive_rule=adaptive_rule,
             storage_precision=plan.working_precision,
-            workers=cfg.build_workers,
+            runtime=self.runtime,
+            trace_phase=trace_phase,
         )
 
     def build(self, genotypes: np.ndarray,
@@ -139,6 +156,7 @@ class KRRSession:
         genotypes = np.asarray(genotypes)
         gamma = self.config.effective_gamma(genotypes.shape[1])
         builder = self._builder(gamma, adaptive=True)
+        self.runtime.clear_phase("build")
         result = builder.build_training(genotypes, confounders)
 
         self.build_result_ = result
@@ -148,11 +166,28 @@ class KRRSession:
             None if confounders is None
             else np.asarray(confounders, dtype=np.float64))
         self.gamma_ = gamma
+        # the runtime trace is the accounting source when the Build ran
+        # through it (the streamed Gaussian path); the IBS dense path
+        # falls back to the result totals
+        trace = self.runtime.phase_trace("build")
         self.phase_flops.clear()
-        self.phase_flops["build"] = result.flops
         self.flops_by_precision.clear()
-        self.flops_by_precision.update(result.flops_by_precision)
+        if trace.num_tasks:
+            self.phase_flops["build"] = trace.total_flops
+            self.flops_by_precision.update(trace.flops_by_precision())
+        else:
+            self.phase_flops["build"] = result.flops
+            self.flops_by_precision.update(result.flops_by_precision)
         return result
+
+    def _build_by_precision(self) -> dict[Precision, float]:
+        """Build-phase per-precision flops (trace-sourced when available)."""
+        trace = self.runtime.phase_trace("build")
+        if trace.num_tasks:
+            return trace.flops_by_precision()
+        if self.build_result_ is not None:
+            return dict(self.build_result_.flops_by_precision)
+        return {}
 
     def adopt_kernel(self, kernel: TileMatrix | np.ndarray) -> TileMatrix:
         """Attach an externally built training kernel to the session.
@@ -176,6 +211,19 @@ class KRRSession:
         if tiled.shape[0] != tiled.shape[1]:
             raise ValueError("the training kernel matrix must be square")
         self.kernel_ = tiled
+        # an adopted kernel carries no Build cost in this session — drop
+        # the discarded build from the trace, the phase entry *and* the
+        # per-precision view (the build sums are exact, so subtraction
+        # removes exactly the dropped contribution)
+        for prec, fl in self._build_by_precision().items():
+            left = self.flops_by_precision.get(prec, 0.0) - fl
+            if left <= 0.0:
+                self.flops_by_precision.pop(prec, None)
+            else:
+                self.flops_by_precision[prec] = left
+        self.runtime.clear_phase("build")
+        self.build_result_ = None
+        self.phase_flops.pop("build", None)
         return tiled
 
     # ------------------------------------------------------------------
@@ -216,6 +264,7 @@ class KRRSession:
         regularized = self.kernel_.shallow_copy()
         regularized.add_diagonal(current)
 
+        self.runtime.clear_phase("associate")
         self.regularization_boosts_ = 0
         last_error: Exception | None = None
         for attempt in range(3):
@@ -223,7 +272,8 @@ class KRRSession:
             try:
                 fact = cholesky(regularized,
                                 working_precision=plan.working_precision,
-                                precision_map=pmap)
+                                precision_map=pmap,
+                                runtime=self.runtime, phase="associate")
                 break
             except np.linalg.LinAlgError as exc:
                 last_error = exc
@@ -243,10 +293,12 @@ class KRRSession:
         y_means = phenotypes.mean(axis=0)
         y_centered = phenotypes - y_means[None, :]
         # the weight-panel solve runs tiled against the tiled factors:
-        # the phenotype panel streams through per tile row
+        # the phenotype panel streams through per tile row, as per-row
+        # TRSM/GEMM tasks on the session runtime
         panel = TileMatrix.from_dense(y_centered, fact.factor.tile_size,
                                       Precision.FP64)
-        solved = solve_cholesky(fact, panel, precision=plan.working_precision)
+        solved = solve_cholesky(fact, panel, precision=plan.working_precision,
+                                runtime=self.runtime, phase="associate")
         weights = _panel_rows(solved)
 
         self.factorization_ = fact
@@ -255,13 +307,16 @@ class KRRSession:
         self.alpha_ = current
 
         # a (re-)associate resets the associate/predict accounting while
-        # keeping the Build contribution
-        build_by_prec = (self.build_result_.flops_by_precision
-                         if self.build_result_ is not None else {})
+        # keeping the Build contribution.  The Associate numbers come
+        # from the runtime's phase trace: the successful factorization's
+        # tasks plus the weight-panel solve tasks (failed boost attempts
+        # never merge their events).
+        trace = self.runtime.phase_trace("associate")
         self.phase_flops.pop("predict", None)
-        self.phase_flops["associate"] = fact.flops
+        self.runtime.clear_phase("predict")  # keep trace == accounting
+        self.phase_flops["associate"] = trace.total_flops
         self.flops_by_precision.clear()
-        for source in (build_by_prec, fact.flops_by_precision):
+        for source in (self._build_by_precision(), trace.flops_by_precision()):
             for prec, fl in source.items():
                 self.flops_by_precision[prec] = (
                     self.flops_by_precision.get(prec, 0.0) + fl)
@@ -337,7 +392,7 @@ class KRRSession:
         wp = cfg.precision_plan.working_precision
         batch = self._effective_batch(
             cfg.predict_batch_rows if batch_rows is None else batch_rows)
-        builder = self._builder(self.gamma_)
+        builder = self._builder(self.gamma_, trace_phase="predict")
 
         n_train = self.training_genotypes_.shape[0]
         nph = self.weights_.shape[1]
@@ -348,15 +403,19 @@ class KRRSession:
                 genotypes, self.training_genotypes_,
                 confounders, self.training_confounders_,
                 batch_rows=batch):
+            gemm_fl = 2.0 * (block.rows.stop - block.rows.start) * n_train * nph
+            # per-batch task on the session runtime: the trace event
+            # carries the block's Gram flops plus the K_test_block @ W
+            # GEMM, split by compute precision
+            detail = dict(block.flops_by_precision)
+            detail[wp] = detail.get(wp, 0.0) + gemm_fl
             predictions[block.rows] = gemm(
                 block.kernel, self.weights_, tile_size=cfg.tile_size,
-                precision=wp)
-            flops += block.flops
-            for prec, fl in block.flops_by_precision.items():
+                precision=wp, runtime=self.runtime, phase="predict",
+                flops_detail=detail)
+            flops += block.flops + gemm_fl
+            for prec, fl in detail.items():
                 by_prec[prec] = by_prec.get(prec, 0.0) + fl
-            gemm_fl = 2.0 * (block.rows.stop - block.rows.start) * n_train * nph
-            flops += gemm_fl
-            by_prec[wp] = by_prec.get(wp, 0.0) + gemm_fl
 
         self._account_predict(flops, by_prec)
         return predictions + self.y_means_[None, :]
@@ -384,7 +443,7 @@ class KRRSession:
         """
         genotypes = np.asarray(genotypes)
         self._check_test_cohort(genotypes, confounders)
-        builder = self._builder(self.gamma_)
+        builder = self._builder(self.gamma_, trace_phase="predict")
         result = builder.build_cross(
             genotypes, self.training_genotypes_,
             confounders, self.training_confounders_,
@@ -399,9 +458,11 @@ class KRRSession:
         cfg = self.config
         wp = cfg.precision_plan.working_precision
         k_test = cross.kernel if isinstance(cross, BuildResult) else np.asarray(cross)
-        predictions = gemm(np.asarray(k_test), self.weights_,
-                           tile_size=cfg.tile_size, precision=wp)
         gemm_fl = 2.0 * k_test.shape[0] * k_test.shape[1] * self.weights_.shape[1]
+        predictions = gemm(np.asarray(k_test), self.weights_,
+                           tile_size=cfg.tile_size, precision=wp,
+                           runtime=self.runtime, phase="predict",
+                           flops_detail={wp: gemm_fl})
         self._account_predict(gemm_fl, {wp: gemm_fl})
         return predictions + self.y_means_[None, :]
 
@@ -431,7 +492,8 @@ class KRRSession:
             phenotypes = phenotypes[:, None]
         y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
         return solve_cholesky(self.factorization_, y_centered,
-                              precision=self.config.precision_plan.working_precision)
+                              precision=self.config.precision_plan.working_precision,
+                              runtime=self.runtime, phase="solve")
 
 
 class RRSession:
@@ -449,6 +511,10 @@ class RRSession:
         if overrides:
             config = config.with_options(**overrides)
         self.config = config
+        # session-long runtime shared by the factorization, solves and
+        # predict GEMMs (same execution engine as KRRSession)
+        self.runtime = Runtime(execution=config.execution,
+                               workers=config.workers)
         self.beta_: np.ndarray | None = None
         self.factorization_: CholeskyResult | None = None
         self.column_means_: np.ndarray | None = None
@@ -509,7 +575,8 @@ class RRSession:
         pmap = plan.precision_map(layout, matrix=a)
         fact = cholesky(a, tile_size=cfg.tile_size,
                         working_precision=plan.working_precision,
-                        precision_map=pmap)
+                        precision_map=pmap,
+                        runtime=self.runtime, phase="associate")
         for prec, fl in fact.flops_by_precision.items():
             flops_by_precision[prec] = flops_by_precision.get(prec, 0.0) + fl
 
@@ -518,8 +585,10 @@ class RRSession:
         y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
         self.y_means_ = phenotypes.mean(axis=0)
         xty = gemm(x_std, y_centered, tile_size=cfg.tile_size,
-                   precision=Precision.FP32, transa=True)
-        beta = solve_cholesky(fact, xty, precision=plan.working_precision)
+                   precision=Precision.FP32, transa=True,
+                   runtime=self.runtime, phase="associate")
+        beta = solve_cholesky(fact, xty, precision=plan.working_precision,
+                              runtime=self.runtime, phase="associate")
 
         self.beta_ = np.asarray(beta, dtype=np.float64)
         self.factorization_ = fact
@@ -534,7 +603,8 @@ class RRSession:
             raise RuntimeError("fit() must be called before predict()")
         x_std = self._standardize(design)
         pred = gemm(x_std, self.beta_, tile_size=self.config.tile_size,
-                    precision=Precision.FP32)
+                    precision=Precision.FP32,
+                    runtime=self.runtime, phase="predict")
         return pred + self.y_means_[None, :]
 
     def fit_predict(self, train_design: np.ndarray,
@@ -556,6 +626,8 @@ class RRSession:
         x_std = self._standardize(design)
         y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
         xty = gemm(x_std, y_centered, tile_size=self.config.tile_size,
-                   precision=Precision.FP32, transa=True)
+                   precision=Precision.FP32, transa=True,
+                   runtime=self.runtime, phase="solve")
         return solve_cholesky(self.factorization_, xty,
-                              precision=self.config.precision_plan.working_precision)
+                              precision=self.config.precision_plan.working_precision,
+                              runtime=self.runtime, phase="solve")

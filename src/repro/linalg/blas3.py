@@ -132,13 +132,49 @@ def gemm(
     precision: Precision | str = Precision.FP32,
     transa: bool = False,
     transb: bool = False,
+    runtime=None,
+    phase: str = "gemm",
+    flops_detail=None,
 ) -> np.ndarray:
     """Tiled mixed-precision GEMM ``op(A) @ op(B)``.
 
     Used for ``X^T Y`` in the RR path and ``K_test @ W`` in the Predict
     phase, both of which the paper keeps in FP32.
+
+    With ``runtime`` the product runs as one inserted task under the
+    runtime's scheduler (the k-block accumulation is order-sensitive,
+    so it stays a single task rather than a chain), which lands its
+    operation count — split by ``flops_detail`` when the caller folds
+    in co-accounted work such as the streamed cross-kernel block — in
+    the ``phase`` trace the solver sessions read.
     """
     precision = Precision.from_string(precision)
+    if runtime is not None:
+        from repro.runtime.task import AccessMode
+
+        runtime.require_drained("gemm()")
+        ashape, bshape = np.shape(a), np.shape(b)
+        m = ashape[1] if transa else ashape[0]
+        n = bshape[0] if transb else bshape[1]
+        k = ashape[0] if transa else ashape[1]
+        total = (float(sum(flops_detail.values())) if flops_detail
+                 else 2.0 * m * n * k)
+        ns = runtime.namespace("gemm")
+        out_h = runtime.register_data(f"{ns}C", shape=(m, n),
+                                      precision=precision)
+        runtime.insert_task(
+            "gemm",
+            (out_h, AccessMode.WRITE),
+            body=lambda _out: gemm(a, b, tile_size, precision,
+                                   transa=transa, transb=transb),
+            flops=total, precision=precision,
+            flops_detail=flops_detail,
+        )
+        try:
+            runtime.run(phase=phase)
+            return out_h.payload
+        finally:
+            runtime.release(ns)
     a = np.asarray(a, dtype=np.float64).T if transa else np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64).T if transb else np.asarray(b, dtype=np.float64)
     m, k = a.shape

@@ -16,9 +16,15 @@ Structure of the algorithm per panel ``k`` (lower-triangular variant):
    ``A[i,j] <- A[i,j] - A[i,k] @ A[j,k]^T``; runs in the *destination
    tile's* precision, which is where FP16/FP8 enters.
 
-The factorization can run directly (fast) or through the task runtime
-(``runtime=``) to obtain DAG statistics, a simulated schedule and the
-data-movement ledger.
+By default the factorization is expressed as a task DAG and executed
+by the runtime's threaded out-of-order scheduler — POTRF/TRSM/SYRK/GEMM
+tiles of independent panels run concurrently, and because every
+ordering constraint is an explicit dependency edge (including the
+serialized accumulation chain on each trailing tile) the result is
+bitwise identical to the serial elimination order
+(``execution="serial"``).  Passing a session-long ``runtime=`` reuses
+one scheduler across phases and feeds its trace accounting; passing
+``execution="simulated"`` retains the historical device-timing mode.
 """
 
 from __future__ import annotations
@@ -28,8 +34,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.precision.formats import Precision
+from repro.precision.gemm import QuantizedOperand
 from repro.linalg.kernels import (
     gemm_flops,
+    panel_operand,
     potrf_flops,
     syrk_flops,
     tile_gemm,
@@ -95,6 +103,9 @@ def cholesky(
     working_precision: Precision | str = Precision.FP32,
     precision_map: dict[tuple[int, int], Precision] | None = None,
     runtime: Runtime | None = None,
+    execution: str | None = None,
+    workers: int | None = None,
+    phase: str = "cholesky",
 ) -> CholeskyResult:
     """Tiled mixed-precision Cholesky factorization (lower triangular).
 
@@ -116,9 +127,23 @@ def cholesky(
         Optional per-tile compute precision overriding the tiles' stored
         precisions.
     runtime:
-        Optional task runtime; when given, the factorization is expressed
-        as a task graph, executed through the scheduler, and the schedule
-        is attached to the result.
+        Optional session-long task runtime.  When given, the
+        factorization inserts its task DAG there (under a fresh handle
+        namespace) and runs under that runtime's execution mode; when
+        omitted, an ephemeral runtime is created from ``execution`` /
+        ``workers``.
+    execution:
+        ``"threaded"`` (default — out-of-order DAG execution),
+        ``"serial"`` (the host-ordered reference elimination, no task
+        graph) or ``"simulated"`` (DAG execution under the simulated
+        device-timing model).  Ignored when ``runtime`` is given.
+    workers:
+        Worker threads of an ephemeral threaded runtime (``None``
+        resolves through ``REPRO_WORKERS`` / cpu count).
+    phase:
+        Trace-phase label of the runtime run (sessions pass
+        ``"associate"`` so the factorization lands in the Associate
+        accounting).
 
     Returns
     -------
@@ -157,10 +182,18 @@ def cholesky(
     result = CholeskyResult(factor=tiled, flops=0.0)
 
     if runtime is None:
-        _cholesky_direct(tiled, working_precision, tile_precision, result)
+        from repro.runtime.runtime import resolve_execution
+
+        mode = resolve_execution(execution)
+        if mode == "serial":
+            _cholesky_direct(tiled, working_precision, tile_precision, result)
+        else:
+            ephemeral = Runtime(execution=mode, workers=workers)
+            _cholesky_runtime(tiled, nt, working_precision, tile_precision,
+                              result, ephemeral, phase)
     else:
         _cholesky_runtime(tiled, nt, working_precision, tile_precision, result,
-                          runtime)
+                          runtime, phase)
 
     # zero out the (now meaningless) upper-triangle tiles of the factor
     for i in range(nt):
@@ -228,39 +261,97 @@ def _cholesky_direct(tiled: TileMatrix, wp: Precision,
 
 
 # ----------------------------------------------------------------------
-# runtime-driven execution
+# runtime-driven (DAG) execution — bitwise identical to the serial path
 # ----------------------------------------------------------------------
 def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                       tile_precision, result: CholeskyResult,
-                      runtime: Runtime) -> None:
-    layout = tiled.layout
+                      runtime: Runtime, phase: str = "cholesky") -> None:
+    from repro.tiles.tile import Tile
 
+    layout = tiled.layout
+    runtime.require_drained("cholesky()")
+    ns = runtime.namespace("chol")
+
+    # Handle payloads are Tile objects, so the working set stays in the
+    # tiles' *storage* precision (fp16/fp8 mosaics keep their footprint
+    # advantage); task bodies convert to float64 on read, exactly like
+    # the serial path's per-access ``get_tile().to_float64()``.
     handles: dict[tuple[int, int], object] = {}
     for i in range(nt):
         for j in range(i + 1):
             tile = tiled.get_tile(i, j)
             handles[(i, j)] = runtime.register_data(
-                f"A({i},{j})", payload=tile.to_float64(),
+                f"{ns}A({i},{j})", payload=tile,
                 precision=tile.precision, shape=tile.shape,
             )
 
+    # Panel tiles are consumed by one SYRK and up to nt-k-2 GEMMs per
+    # compute precision; caching the quantized operand per (handle,
+    # precision) mirrors the serial path's per-panel cache.  A panel
+    # payload never changes after its TRSM wrote it, so the cache is
+    # sound under concurrency.  Each entry is refcounted by its
+    # consumer tasks and evicted when the last one has used it, so the
+    # cache holds (roughly) the panels currently in flight rather than
+    # every panel of the factorization.
+    import threading
+
+    qcache: dict[tuple[int, Precision], QuantizedOperand] = {}
+    qcount: dict[tuple[int, Precision], int] = {}
+    qlock = threading.Lock()
+
+    def qexpect(uid: int, precision: Precision) -> None:
+        key = (uid, precision)
+        qcount[key] = qcount.get(key, 0) + 1
+
+    def qop(uid: int, tile: Tile, precision: Precision) -> QuantizedOperand:
+        key = (uid, precision)
+        got = qcache.get(key)
+        if got is None:
+            # benign race: a duplicate compute yields the same
+            # deterministic operand and one copy wins
+            got = qcache.setdefault(
+                key, panel_operand(tile.to_float64(), precision))
+        return got
+
+    def qdone(*keys: tuple[int, Precision]) -> None:
+        with qlock:
+            for key in keys:
+                left = qcount.get(key, 0) - 1
+                if left <= 0:
+                    qcount.pop(key, None)
+                    qcache.pop(key, None)
+                else:
+                    qcount[key] = left
+
     def potrf_body(a):
-        return tile_potrf(a, precision=wp)
+        return Tile(tile_potrf(a.to_float64(), precision=wp), precision=wp,
+                    coords=a.coords)
 
-    def make_trsm_body():
+    def make_trsm_body(storage: Precision):
         def body(lkk, aik):
-            return tile_trsm(lkk, aik, precision=wp, side="right", trans=True)
+            lik = tile_trsm(lkk.to_float64(), aik.to_float64(), precision=wp,
+                            side="right", trans=True)
+            # storing at the tile's storage precision is the same
+            # rounding the serial path applies before the trailing
+            # updates read the panel back
+            return Tile(lik, precision=storage, coords=aik.coords)
         return body
 
-    def make_syrk_body(p):
+    def make_syrk_body(p, uid_ik):
         def body(lik, aii):
-            return tile_syrk(lik, aii, precision=p, alpha=-1.0, beta=1.0)
+            out = tile_syrk(qop(uid_ik, lik, p), aii.to_float64(),
+                            precision=p, alpha=-1.0, beta=1.0)
+            qdone((uid_ik, p))
+            return Tile(out, precision=p, coords=aii.coords)
         return body
 
-    def make_gemm_body(p):
+    def make_gemm_body(p, uid_ik, uid_jk):
         def body(lik, ljk, aij):
-            return tile_gemm(lik, ljk, aij, precision=p, alpha=-1.0, beta=1.0,
-                             transb=True)
+            out = tile_gemm(qop(uid_ik, lik, p), qop(uid_jk, ljk, p),
+                            aij.to_float64(), precision=p,
+                            alpha=-1.0, beta=1.0, transb=True)
+            qdone((uid_ik, p), (uid_jk, p))
+            return Tile(out, precision=p, coords=aij.coords)
         return body
 
     for k in range(nt):
@@ -278,7 +369,8 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
             mb, nb = layout.tile_shape(i, k)
             runtime.insert_task(
                 "trsm", (hkk, AccessMode.READ), (hik, AccessMode.READWRITE),
-                body=make_trsm_body(), flops=trsm_flops(nb, mb),
+                body=make_trsm_body(tile_precision(i, k)),
+                flops=trsm_flops(nb, mb),
                 precision=wp, priority=nt - k + 5, tag=(i, k, k),
             )
             _accumulate(result, "trsm", wp, trsm_flops(nb, mb))
@@ -288,9 +380,10 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
             hii = handles[(i, i)]
             nbi = layout.tile_shape(i, i)[0]
             kbk = layout.tile_shape(i, k)[1]
+            qexpect(hik.uid, wp)
             runtime.insert_task(
                 "syrk", (hik, AccessMode.READ), (hii, AccessMode.READWRITE),
-                body=make_syrk_body(wp), flops=syrk_flops(nbi, kbk),
+                body=make_syrk_body(wp, hik.uid), flops=syrk_flops(nbi, kbk),
                 precision=wp, tag=(i, i, k),
             )
             _accumulate(result, "syrk", wp, syrk_flops(nbi, kbk))
@@ -299,18 +392,27 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                 hij = handles[(i, j)]
                 p_ij = tile_precision(i, j)
                 mb, nb = layout.tile_shape(i, j)
+                qexpect(hik.uid, p_ij)
+                qexpect(hjk.uid, p_ij)
                 runtime.insert_task(
                     "gemm", (hik, AccessMode.READ), (hjk, AccessMode.READ),
                     (hij, AccessMode.READWRITE),
-                    body=make_gemm_body(p_ij), flops=gemm_flops(mb, nb, kbk),
+                    body=make_gemm_body(p_ij, hik.uid, hjk.uid),
+                    flops=gemm_flops(mb, nb, kbk),
                     precision=p_ij, tag=(i, j, k),
                 )
                 _accumulate(result, "gemm", p_ij, gemm_flops(mb, nb, kbk))
 
-    schedule = runtime.run()
+    try:
+        schedule = runtime.run(phase=phase)
+    finally:
+        # failed attempts (indefinite matrix at too-small alpha) must
+        # not leak this invocation's handles into the session registry
+        runtime.release(ns)
     result.schedule = schedule
 
-    # copy results back into the tile matrix
+    # copy results back into the tile matrix (payloads are Tiles whose
+    # values already sit on the target precision's grid)
     for (i, j), handle in handles.items():
-        tiled.set_tile(i, j, handle.payload, precision=tile_precision(i, j)
-                       if i != j else wp)
+        tiled.set_tile(i, j, handle.payload.to_float64(),
+                       precision=tile_precision(i, j) if i != j else wp)

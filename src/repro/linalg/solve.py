@@ -15,6 +15,9 @@ import scipy.linalg
 from repro.precision.formats import Precision
 from repro.precision.quantize import quantize
 from repro.linalg.cholesky import CholeskyResult
+from repro.linalg.kernels import gemm_flops, trsm_flops
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import AccessMode
 from repro.tiles.matrix import TileMatrix
 
 
@@ -46,10 +49,96 @@ def _rhs_blocks(factor: TileMatrix, rhs: TileMatrix | np.ndarray,
     return blocks
 
 
+def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
+                   forward: bool, lower: bool, precision: Precision,
+                   runtime: Runtime, phase: str) -> dict[int, np.ndarray]:
+    """Per-tile-row TRSM/GEMM task insertion for the blockwise solve.
+
+    Each tile row of the right-hand side becomes one handle; the block
+    update ``acc -= L[i,j] @ x[j]`` is a task reading row ``j`` and
+    read-writing row ``i``, and the diagonal solve is a TRSM task on
+    row ``i``.  The derived RAW/WAW chains reproduce the sequential
+    update order per row exactly (bitwise), while update tasks of
+    *different* rows run out of order on the worker pool.
+    """
+    nt = factor.layout.tile_rows
+    runtime.require_drained("solve_triangular()")
+    ns = runtime.namespace("trsm")
+    handles = {
+        i: runtime.register_data(f"{ns}x({i})", payload=x[i])
+        for i in range(nt)
+    }
+
+    # Closures capture factor *tiles* (storage precision, no copy) and
+    # convert per execution — the same per-access ``to_float64()`` the
+    # in-line loop performs, without staging the whole factor in FP64.
+    def make_update(tile, transpose_tile: bool, transpose_op: bool):
+        def body(xj, acc):
+            lij = tile.to_float64()
+            if transpose_tile:
+                lij = lij.T
+            if transpose_op:
+                lij = lij.T
+            acc = acc - lij @ xj
+            return np.asarray(quantize(acc, precision), dtype=np.float64)
+        return body
+
+    def make_diag_solve(tile, transpose: bool, lower_solve: bool):
+        def body(acc):
+            diag = tile.to_float64()
+            if transpose:
+                diag = diag.T
+            out = scipy.linalg.solve_triangular(diag, acc, lower=lower_solve)
+            return np.asarray(quantize(out, precision), dtype=np.float64)
+        return body
+
+    rows = range(nt) if forward else reversed(range(nt))
+    for i in rows:
+        width = x[i].shape[1]
+        others = range(i) if forward else range(i + 1, nt)
+        for j in others:
+            if forward:
+                tile = factor.get_tile(i, j) if lower else factor.get_tile(j, i)
+                transpose_tile, transpose_op = (not lower), False
+            else:
+                tile = factor.get_tile(j, i) if lower else factor.get_tile(i, j)
+                transpose_tile, transpose_op = (not lower), True
+            op_shape = tile.shape if not transpose_tile else tile.shape[::-1]
+            if transpose_op:
+                op_shape = op_shape[::-1]
+            runtime.insert_task(
+                "solve_gemm",
+                (handles[j], AccessMode.READ),
+                (handles[i], AccessMode.READWRITE),
+                body=make_update(tile, transpose_tile, transpose_op),
+                flops=gemm_flops(op_shape[0], width, op_shape[1]),
+                precision=precision, tag=(i, j),
+            )
+        lii = factor.get_tile(i, i)
+        if forward:
+            transpose, lower_solve = (not lower), True
+        else:
+            transpose, lower_solve = lower, False
+        runtime.insert_task(
+            "solve_trsm", (handles[i], AccessMode.READWRITE),
+            body=make_diag_solve(lii, transpose, lower_solve),
+            flops=trsm_flops(lii.shape[0], width),
+            precision=precision, priority=nt - i if forward else i + 1,
+            tag=(i, i),
+        )
+    try:
+        runtime.run(phase=phase)
+        return {i: handles[i].payload for i in range(nt)}
+    finally:
+        runtime.release(ns)
+
+
 def solve_triangular(factor: TileMatrix | np.ndarray,
                      rhs: np.ndarray | TileMatrix,
                      lower: bool = True, trans: bool = False,
-                     precision: Precision | str = Precision.FP32
+                     precision: Precision | str = Precision.FP32,
+                     runtime: Runtime | None = None,
+                     phase: str = "solve",
                      ) -> np.ndarray | TileMatrix:
     """Solve ``op(L) X = B`` with a (tiled or dense) triangular factor.
 
@@ -62,6 +151,11 @@ def solve_triangular(factor: TileMatrix | np.ndarray,
     row tiling matches the factor; a tiled right-hand side streams
     through the solve per tile row and the solution is returned as a
     :class:`TileMatrix` with the same layout.
+
+    With ``runtime`` the blockwise solve is inserted as per-tile-row
+    TRSM/GEMM tasks and executed under the runtime's scheduler
+    (bitwise identical to the in-line loop); without it the loop runs
+    directly on the caller's thread.
     """
     precision = Precision.from_string(precision)
     tiled_rhs = isinstance(rhs, TileMatrix)
@@ -89,7 +183,11 @@ def solve_triangular(factor: TileMatrix | np.ndarray,
     nt = layout.tile_rows
     x = _rhs_blocks(factor, rhs64, precision)
 
-    if (lower and not trans) or (not lower and trans):
+    forward = (lower and not trans) or (not lower and trans)
+    if runtime is not None:
+        x = _solve_runtime(factor, x, forward, lower, precision, runtime,
+                           phase)
+    elif forward:
         # forward substitution over tile rows
         for i in range(nt):
             acc = x[i].copy()
@@ -134,21 +232,27 @@ def solve_triangular(factor: TileMatrix | np.ndarray,
 
 def solve_cholesky(factorization: CholeskyResult | TileMatrix | np.ndarray,
                    rhs: np.ndarray | TileMatrix,
-                   precision: Precision | str = Precision.FP32
+                   precision: Precision | str = Precision.FP32,
+                   runtime: Runtime | None = None,
+                   phase: str = "solve",
                    ) -> np.ndarray | TileMatrix:
     """POTRS: solve ``A X = B`` given the lower Cholesky factor of ``A``.
 
     Performs the forward solve ``L Y = B`` followed by the backward
     solve ``L^T X = Y``, both in the given working precision.  A
     :class:`TileMatrix` right-hand-side panel is solved per tile row
-    against the tiled factors and returned tiled.
+    against the tiled factors and returned tiled.  With ``runtime``
+    each sweep runs as per-tile-row tasks under that runtime's
+    scheduler (see :func:`solve_triangular`).
     """
     if isinstance(factorization, CholeskyResult):
         factor: TileMatrix | np.ndarray = factorization.factor
     else:
         factor = factorization
-    y = solve_triangular(factor, rhs, lower=True, trans=False, precision=precision)
-    x = solve_triangular(factor, y, lower=True, trans=True, precision=precision)
+    y = solve_triangular(factor, rhs, lower=True, trans=False,
+                         precision=precision, runtime=runtime, phase=phase)
+    x = solve_triangular(factor, y, lower=True, trans=True,
+                         precision=precision, runtime=runtime, phase=phase)
     return x
 
 

@@ -20,18 +20,28 @@ This package reproduces those semantics:
     Byte accounting for tile transfers, including the
     conversion-at-sender / conversion-at-receiver policy of Sec. VI-B1.
 ``Scheduler`` / ``Runtime``
-    List scheduler producing an execution trace (per-task start/stop,
-    per-device busy time, critical path) plus the actual execution of
-    the task bodies in a valid topological order.
+    The execution engine.  The scheduler drains the ready set as
+    dependencies resolve — for real, on a worker-thread pool
+    (``execution="threaded"``, the default), serially on the caller's
+    thread (``"serial"``), or under the historical simulated-device
+    timing model (``"simulated"``).  The runtime is session-long: each
+    ``run()`` drains the tasks inserted since the last one and
+    accumulates their events into per-phase traces that feed the
+    solver sessions' flop accounting.
 """
 
 from repro.runtime.task import AccessMode, DataHandle, Task
 from repro.runtime.dag import TaskGraph
-from repro.runtime.device import Device, DeviceModel
+from repro.runtime.device import Device, DeviceModel, HOST_WORKER
 from repro.runtime.comm import CommunicationEngine, ConversionPolicy, TransferRecord
 from repro.runtime.trace import ExecutionTrace, TaskEvent
-from repro.runtime.scheduler import Scheduler, ScheduleResult
-from repro.runtime.runtime import Runtime
+from repro.runtime.scheduler import (
+    EXECUTION_MODES,
+    Scheduler,
+    ScheduleResult,
+    SchedulerError,
+)
+from repro.runtime.runtime import Runtime, resolve_execution, resolve_workers
 
 __all__ = [
     "AccessMode",
@@ -40,12 +50,17 @@ __all__ = [
     "TaskGraph",
     "Device",
     "DeviceModel",
+    "HOST_WORKER",
     "CommunicationEngine",
     "ConversionPolicy",
     "TransferRecord",
     "ExecutionTrace",
     "TaskEvent",
+    "EXECUTION_MODES",
     "Scheduler",
     "ScheduleResult",
+    "SchedulerError",
     "Runtime",
+    "resolve_execution",
+    "resolve_workers",
 ]

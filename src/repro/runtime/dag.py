@@ -62,7 +62,8 @@ class TaskGraph:
         return task
 
     def insert_task(self, name: str, *accesses, body=None, flops: float = 0.0,
-                    precision=None, priority: int = 0, tag=None) -> Task:
+                    precision=None, priority: int = 0, tag=None,
+                    flops_detail=None) -> Task:
         """PaRSEC-style convenience wrapper around :meth:`add_task`.
 
         ``accesses`` is a flat sequence of ``(handle, mode)`` pairs.
@@ -77,6 +78,7 @@ class TaskGraph:
             precision=precision or Precision.FP64,
             priority=priority,
             tag=tag,
+            flops_detail=flops_detail,
         )
         return self.add_task(task)
 
@@ -128,6 +130,21 @@ class TaskGraph:
             best = max((longest[p] for p in preds), default=0.0)
             longest[task] = best + float(task.flops)
         return max(longest.values())
+
+    def critical_path_length(self) -> int:
+        """Number of tasks on the longest dependency chain.
+
+        This is the depth bound on out-of-order execution: with
+        unbounded workers, a run can never take fewer "task steps" than
+        the critical path has tasks.
+        """
+        if not self._tasks:
+            return 0
+        depth: dict[Task, int] = {}
+        for task in self.topological_order():
+            preds = self.predecessors(task)
+            depth[task] = 1 + max((depth[p] for p in preds), default=0)
+        return max(depth.values())
 
     def task_counts_by_name(self) -> dict[str, int]:
         counts: dict[str, int] = {}

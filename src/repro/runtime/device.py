@@ -82,9 +82,21 @@ GENERIC_GPU = DeviceModel(
 )
 
 
+#: Device model used for the threaded/serial executors' worker slots.
+#: The throughput numbers are never used there (events carry measured
+#: wall-clock times); the model only names the resource in traces.
+HOST_WORKER = DeviceModel(
+    name="host-thread",
+    throughput={Precision.FP64: 1.0e11, Precision.FP32: 2.0e11},
+    link_bandwidth=1.0e11,  # shared host memory: transfers are free-ish
+    link_latency=0.0,
+)
+
+
 @dataclass
 class Device:
-    """One schedulable device instance (a GPU within a node)."""
+    """One schedulable device instance (a GPU within a node, or one
+    worker thread of the host executor)."""
 
     index: int
     model: DeviceModel = GENERIC_GPU

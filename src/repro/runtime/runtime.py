@@ -1,22 +1,32 @@
 """High-level runtime facade.
 
-``Runtime`` bundles a task graph, a device set, a communication engine
-and a scheduler behind the small interface the tiled algorithms use:
+``Runtime`` bundles a task graph, an executor (threaded / serial /
+simulated), a communication engine and a handle registry behind the
+small interface the tiled algorithms use:
 
 .. code-block:: python
 
-    rt = Runtime(num_devices=4)
+    rt = Runtime(workers=8)
     a = rt.register_data("A(0,0)", tile_array, precision=Precision.FP32)
     rt.insert_task("potrf", (a, AccessMode.READWRITE), body=potrf_body,
                    flops=n**3 / 3, precision=Precision.FP32)
-    result = rt.run()
+    result = rt.run(phase="associate")
 
 which mirrors PaRSEC's dynamic task insertion interface used by the
 paper's GWAS code.
+
+A ``Runtime`` is **session-long and reusable**: every :meth:`run` call
+drains the tasks inserted since the previous run (the pending graph),
+appends the resulting events to the cumulative :attr:`session_trace`
+(and to the named phase trace when ``phase`` is given), and leaves the
+handle registry in place so later phases can keep inserting tasks
+against the same data.  The scheduler is constructed exactly once; no
+state is silently rebuilt between runs.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 import numpy as np
@@ -25,24 +35,65 @@ from repro.precision.formats import Precision
 from repro.runtime.comm import CommunicationEngine
 from repro.runtime.dag import TaskGraph
 from repro.runtime.device import DeviceModel, GENERIC_GPU, make_devices
-from repro.runtime.scheduler import ScheduleResult, Scheduler
+from repro.runtime.scheduler import (
+    EXECUTION_MODES,
+    ScheduleResult,
+    Scheduler,
+)
 from repro.runtime.task import AccessMode, DataHandle, Task
+from repro.runtime.trace import ExecutionTrace
+
+#: Environment overrides, used by CI to re-run the whole test suite
+#: under a different concurrency level without touching call sites.
+WORKERS_ENV = "REPRO_WORKERS"
+EXECUTION_ENV = "REPRO_EXECUTION"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker-thread count.
+
+    Explicit values win; ``None`` consults the ``REPRO_WORKERS``
+    environment variable and finally defaults to ``min(8, cpu_count)``.
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        return max(1, int(env))
+    return min(8, os.cpu_count() or 1)
+
+
+def resolve_execution(execution: str | None = None) -> str:
+    """Resolve an execution mode (explicit > ``REPRO_EXECUTION`` > threaded)."""
+    mode = execution or os.environ.get(EXECUTION_ENV) or "threaded"
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES}, got {mode!r}")
+    return mode
 
 
 class Runtime:
-    """Dynamic task runtime over simulated devices.
+    """Dynamic task runtime: the repo's execution engine.
 
     Parameters
     ----------
     num_devices:
-        Number of simulated devices (GPUs).
+        Number of simulated devices (``simulated`` mode only).
     device_model:
-        Performance model shared by all devices.
+        Performance model shared by all simulated devices.
     adaptive_conversion:
         Enable the sender/receiver conversion placement of the paper
-        (True by default).
+        (True by default; simulated mode only).
     execute_bodies:
-        When False, only the timing simulation runs.
+        When False, only the timing simulation runs (simulated mode).
+    execution:
+        ``"threaded"`` (default — real out-of-order worker-pool
+        execution), ``"serial"`` (same drain on the caller's thread) or
+        ``"simulated"`` (the historical device-timing mode).
+    workers:
+        Worker threads of the threaded mode; ``None`` resolves through
+        :func:`resolve_workers` (``REPRO_WORKERS`` env var, then
+        ``min(8, cpu_count)``).
     """
 
     def __init__(
@@ -51,15 +102,44 @@ class Runtime:
         device_model: DeviceModel = GENERIC_GPU,
         adaptive_conversion: bool = True,
         execute_bodies: bool = True,
+        execution: str | None = None,
+        workers: int | None = None,
     ) -> None:
-        self.graph = TaskGraph()
+        self.execution = resolve_execution(execution)
+        self.workers = resolve_workers(workers)
+        if self.execution != "simulated" and (
+                num_devices != 1 or device_model is not GENERIC_GPU
+                or not adaptive_conversion):
+            import warnings
+
+            warnings.warn(
+                "num_devices / device_model / adaptive_conversion only "
+                f"affect execution='simulated'; this runtime resolves to "
+                f"execution={self.execution!r} (the historical default was "
+                "simulated — pass execution='simulated' to keep the device "
+                "timing model)",
+                stacklevel=2,
+            )
+        self.graph = TaskGraph()  # pending (not yet run) tasks
         self.devices = make_devices(num_devices, device_model)
         self.comm = CommunicationEngine(adaptive_conversion=adaptive_conversion)
+        # the one and only scheduler of this runtime — reused by every
+        # run() so repeated runs never silently rebuild executor state
         self.scheduler = Scheduler(
-            devices=self.devices, comm=self.comm, execute_bodies=execute_bodies
+            devices=self.devices, comm=self.comm,
+            execute_bodies=execute_bodies,
+            execution=self.execution, workers=self.workers,
         )
         self._handles: dict[str, DataHandle] = {}
+        self._handle_uids: set[int] = set()
+        self._namespaces: dict[str, int] = {}
         self._last_result: ScheduleResult | None = None
+        #: graph drained by the most recent :meth:`run`
+        self.last_graph: TaskGraph | None = None
+        #: events of every run of this runtime, in completion order
+        self.session_trace = ExecutionTrace()
+        self._phase_traces: dict[str, ExecutionTrace] = {}
+        self.runs_completed = 0
 
     # ------------------------------------------------------------------
     # data registration
@@ -71,13 +151,33 @@ class Runtime:
         precision: Precision | str = Precision.FP64,
         shape: tuple[int, ...] | None = None,
         home_device: int | None = None,
+        exist_ok: bool = False,
     ) -> DataHandle:
-        """Register a named datum (typically one tile) with the runtime."""
-        if name in self._handles:
-            raise ValueError(f"data {name!r} already registered")
+        """Register a named datum (typically one tile) with the runtime.
+
+        With ``exist_ok`` an already-registered name returns the
+        existing handle after a consistency check on the shape —
+        re-registering the "same" datum with different geometry is
+        always a bug.
+        """
         precision = Precision.from_string(precision)
         if shape is None:
             shape = tuple(np.shape(payload)) if payload is not None else ()
+        if name in self._handles:
+            if not exist_ok:
+                raise ValueError(f"data {name!r} already registered")
+            handle = self._handles[name]
+            if tuple(handle.shape) != tuple(shape):
+                raise ValueError(
+                    f"data {name!r} re-registered with shape {shape}, "
+                    f"registry holds {handle.shape}"
+                )
+            if handle.precision is not precision:
+                raise ValueError(
+                    f"data {name!r} re-registered as {precision}, "
+                    f"registry holds {handle.precision}"
+                )
+            return handle
         handle = DataHandle(
             name=name,
             shape=shape,
@@ -87,6 +187,7 @@ class Runtime:
                          else len(self._handles) % len(self.devices)),
         )
         self._handles[name] = handle
+        self._handle_uids.add(handle.uid)
         return handle
 
     def data(self, name: str) -> DataHandle:
@@ -95,6 +196,49 @@ class Runtime:
     @property
     def handles(self) -> dict[str, DataHandle]:
         return dict(self._handles)
+
+    def namespace(self, label: str) -> str:
+        """A unique name prefix for one algorithm invocation.
+
+        Session-long runtimes execute the same tiled algorithm many
+        times (one Cholesky per regularization attempt, one solve per
+        phenotype panel); prefixing each invocation's handle names
+        keeps the registry collision-free without the caller tracking
+        generations.
+        """
+        idx = self._namespaces.get(label, 0)
+        self._namespaces[label] = idx + 1
+        return f"{label}#{idx}:"
+
+    def require_drained(self, operation: str) -> None:
+        """Guard for library routines that insert-and-drain.
+
+        The tiled algorithms (Build, Cholesky, solves, GEMM) insert
+        their task DAG and immediately ``run()`` it.  If the caller
+        left unrelated tasks pending on this runtime, that drain would
+        execute them prematurely, tag their events into the wrong
+        phase, and surface their failures from the wrong call — so the
+        routines refuse instead.
+        """
+        if self.graph.num_tasks:
+            raise RuntimeError(
+                f"{operation} would drain {self.graph.num_tasks} unrelated "
+                "pending task(s) on this runtime; run() or reset_graph() "
+                "them first"
+            )
+
+    def release(self, prefix: str) -> int:
+        """Drop registered handles whose name starts with ``prefix``.
+
+        Returns the number of handles released.  Dropping a namespace
+        after its algorithm finished keeps session-long registries (and
+        their tile payloads) from accumulating without bound.
+        """
+        names = [n for n in self._handles if n.startswith(prefix)]
+        for n in names:
+            handle = self._handles.pop(n)
+            self._handle_uids.discard(handle.uid)
+        return len(names)
 
     # ------------------------------------------------------------------
     # task insertion and execution
@@ -108,8 +252,21 @@ class Runtime:
         precision: Precision | str = Precision.FP64,
         priority: int = 0,
         tag: Any = None,
+        flops_detail: dict[Precision, float] | None = None,
     ) -> Task:
-        """Insert a task; dependencies derive from the access declarations."""
+        """Insert a task; dependencies derive from the access declarations.
+
+        Every accessed handle must be registered with *this* runtime —
+        the registry consistency assert that catches tasks smuggling in
+        foreign (or released) handles, which would silently break the
+        dependency derivation.
+        """
+        for handle, _ in accesses:
+            if handle.uid not in self._handle_uids:
+                raise RuntimeError(
+                    f"task {name!r} accesses handle {handle.name!r} which is "
+                    "not registered with this runtime"
+                )
         return self.graph.insert_task(
             name,
             *accesses,
@@ -118,30 +275,58 @@ class Runtime:
             precision=Precision.from_string(precision),
             priority=priority,
             tag=tag,
+            flops_detail=flops_detail,
         )
 
-    def run(self) -> ScheduleResult:
-        """Schedule and execute all inserted tasks; returns the result."""
-        self._last_result = self.scheduler.run(self.graph)
-        return self._last_result
+    def run(self, phase: str | None = None) -> ScheduleResult:
+        """Drain the pending graph: schedule and execute its tasks.
+
+        The pending graph is consumed whether or not execution succeeds
+        (a failed run must not leave poisoned tasks behind for the next
+        phase); on success its events are appended to
+        :attr:`session_trace` and, when ``phase`` is given, to that
+        phase's cumulative trace.
+        """
+        graph, self.graph = self.graph, TaskGraph()
+        self.last_graph = graph
+        result = self.scheduler.run(graph)
+        self.session_trace.merge(result.trace)
+        if phase is not None:
+            self._phase_traces.setdefault(phase, ExecutionTrace()).merge(
+                result.trace)
+        self._last_result = result
+        self.runs_completed += 1
+        return result
 
     @property
     def last_result(self) -> ScheduleResult | None:
         return self._last_result
 
     # ------------------------------------------------------------------
+    # phase accounting
+    # ------------------------------------------------------------------
+    def phase_trace(self, phase: str) -> ExecutionTrace:
+        """Cumulative trace of every successful run tagged ``phase``."""
+        return self._phase_traces.setdefault(phase, ExecutionTrace())
+
+    def clear_phase(self, phase: str) -> None:
+        """Reset one phase's cumulative trace (e.g. on re-associate)."""
+        self._phase_traces.pop(phase, None)
+
+    # ------------------------------------------------------------------
     # convenience statistics
     # ------------------------------------------------------------------
     def num_tasks(self) -> int:
+        """Pending (not yet run) task count."""
         return self.graph.num_tasks
 
     def total_flops(self) -> float:
         return self.graph.total_flops()
 
     def reset_graph(self) -> None:
-        """Discard inserted tasks while keeping registered data."""
+        """Discard pending tasks while keeping registered data.
+
+        The scheduler is *not* rebuilt — it is constructed once per
+        runtime and shared by every run.
+        """
         self.graph = TaskGraph()
-        self.scheduler = Scheduler(
-            devices=self.devices, comm=self.comm,
-            execute_bodies=self.scheduler.execute_bodies,
-        )

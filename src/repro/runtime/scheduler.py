@@ -1,29 +1,49 @@
-"""List scheduler over simulated devices.
+"""Out-of-order executors over the task DAG.
 
-The scheduler walks the task DAG in dataflow order, executing each
-task's body (real numerics, on the host) while *simulating* the time it
-would take on the mapped device, including the transfer time of any
-input tile that last lived on a different device.  The result couples
-a correct execution with a performance estimate — the same separation
-the paper relies on when it reports flop/s from timers plus counted
-operations.
+The scheduler owns *how* a :class:`~repro.runtime.dag.TaskGraph` is
+executed.  Three execution modes share one dependency engine:
 
-Mapping policy: each task is mapped to the device that owns the first
-written handle (owner-computes, the PaRSEC default for tile
-algorithms); when that is unavailable, the earliest-available device
-is chosen.
+``threaded``
+    The real thing: a worker pool drains the ready set as dependencies
+    resolve, executing task bodies out of order on host threads (BLAS
+    releases the GIL, so tile kernels genuinely overlap).  The trace
+    records wall-clock start/end times per worker.  Because every
+    ordering constraint between tasks touching the same data is an
+    explicit RAW/WAR/WAW edge, any interleaving the pool produces is
+    bitwise identical to the serial elimination order.
+
+``serial``
+    The same ready-set drain on the caller's thread (priority order,
+    insertion-order tie-break) with wall-clock timing.  This is the
+    reference execution the threaded mode must match bit for bit.
+
+``simulated``
+    The historical performance model: task bodies still execute (in
+    dataflow order, on the host), but the trace times each task as it
+    would run on the mapped *simulated device*, including transfer
+    time for inputs that last lived on another device.  Mapping policy
+    is owner-computes (the PaRSEC default for tile algorithms) with an
+    earliest-available fallback.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.runtime.comm import CommunicationEngine
 from repro.runtime.dag import TaskGraph
-from repro.runtime.device import Device, make_devices
+from repro.runtime.device import (
+    Device,
+    HOST_WORKER,
+    make_devices,
+)
 from repro.runtime.task import DataHandle, Task
 from repro.runtime.trace import ExecutionTrace, TaskEvent
+
+EXECUTION_MODES = ("threaded", "serial", "simulated")
 
 
 @dataclass
@@ -49,34 +69,200 @@ class ScheduleResult:
         return out
 
 
+class SchedulerError(RuntimeError):
+    """A schedule could not make progress (dependency deadlock)."""
+
+
+def _ready_heap(graph: TaskGraph):
+    """Initial ready set plus the bookkeeping the drain loops share."""
+    indegree = {t: len(graph.predecessors(t)) for t in graph.tasks}
+    order_index = {t: i for i, t in enumerate(graph.tasks)}
+    ready: list[tuple[int, int, Task]] = []
+    for t in graph.tasks:
+        if indegree[t] == 0:
+            heapq.heappush(ready, (-t.priority, order_index[t], t))
+    return indegree, order_index, ready
+
+
 @dataclass
 class Scheduler:
-    """Dynamic list scheduler with owner-computes mapping.
+    """Dependency-driven executor with selectable execution mode.
 
     Parameters
     ----------
     devices:
-        Devices to schedule over; default one generic GPU.
+        Simulated devices (``simulated`` mode only); default one
+        generic GPU.
     comm:
-        Communication engine used for transfer accounting.
+        Communication engine used for transfer accounting in the
+        simulated mode.
     execute_bodies:
-        When False only the timing simulation runs (useful for very
-        large synthetic DAGs in the performance model).
+        When False task bodies are skipped in *every* mode and only the
+        schedule bookkeeping runs (useful for very large synthetic DAGs
+        in the performance model — the simulated mode keeps its device
+        timing, the threaded/serial modes time empty drains).
     owner_computes:
-        When True tasks run on the home device of their first written
-        handle; otherwise tasks go to the earliest-free device.
+        Simulated-mode mapping policy: tasks run on the home device of
+        their first written handle; otherwise on the earliest-free
+        device.
+    execution:
+        ``"threaded"``, ``"serial"`` or ``"simulated"`` (default keeps
+        the historical behaviour for direct ``Scheduler`` users).
+    workers:
+        Worker threads of the threaded mode.  Capped at the task count
+        per run; 1 falls back to the serial drain (no threads spawned).
     """
 
     devices: list[Device] = field(default_factory=lambda: make_devices(1))
     comm: CommunicationEngine = field(default_factory=CommunicationEngine)
     execute_bodies: bool = True
     owner_computes: bool = True
+    execution: str = "simulated"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, got "
+                f"{self.execution!r}"
+            )
+        self.workers = max(1, int(self.workers))
 
     def run(self, graph: TaskGraph) -> ScheduleResult:
-        """Execute and time ``graph``."""
+        """Execute (and time) ``graph`` under the configured mode."""
         if not graph.is_acyclic():
             raise RuntimeError("task graph contains a cycle")
+        if self.execution == "simulated":
+            return self._run_simulated(graph)
+        if self.execution == "serial" or self.workers <= 1 \
+                or graph.num_tasks <= 1:
+            return self._run_serial(graph)
+        return self._run_threaded(graph)
 
+    # ------------------------------------------------------------------
+    # serial drain (the threaded mode's bitwise reference)
+    # ------------------------------------------------------------------
+    def _run_serial(self, graph: TaskGraph) -> ScheduleResult:
+        indegree, order_index, ready = _ready_heap(graph)
+        trace = ExecutionTrace()
+        worker = make_devices(1, HOST_WORKER)
+        t0 = time.perf_counter()
+        executed = 0
+        while ready:
+            _, _, task = heapq.heappop(ready)
+            start = time.perf_counter() - t0
+            if self.execute_bodies:
+                task.execute()
+            end = time.perf_counter() - t0
+            executed += 1
+            trace.add(TaskEvent(
+                task_name=task.name, task_uid=task.uid, device=0,
+                start=start, end=end, flops=task.flops,
+                precision=task.precision, tag=task.tag,
+                flops_detail=task.flops_detail,
+            ))
+            worker[0].busy_time += end - start
+            worker[0].tasks_executed += 1
+            for succ in graph.successors(task):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(
+                        ready, (-succ.priority, order_index[succ], succ))
+        if executed != graph.num_tasks:
+            raise SchedulerError(
+                f"schedule executed {executed} of {graph.num_tasks} tasks "
+                "(dependency deadlock)"
+            )
+        worker[0].busy_until = time.perf_counter() - t0
+        return ScheduleResult(trace=trace, comm=CommunicationEngine(),
+                              devices=worker)
+
+    # ------------------------------------------------------------------
+    # threaded out-of-order execution
+    # ------------------------------------------------------------------
+    def _run_threaded(self, graph: TaskGraph) -> ScheduleResult:
+        indegree, order_index, ready = _ready_heap(graph)
+        num_workers = min(self.workers, max(1, graph.num_tasks))
+        workers = make_devices(num_workers, HOST_WORKER)
+        trace = ExecutionTrace()
+        total = graph.num_tasks
+
+        lock = threading.Lock()
+        cond = threading.Condition(lock)
+        state = {"executed": 0, "in_flight": 0}
+        failures: list[BaseException] = []
+        t0 = time.perf_counter()
+
+        def drained() -> bool:
+            return (state["executed"] >= total
+                    or bool(failures)
+                    or (not ready and state["in_flight"] == 0))
+
+        def worker_loop(widx: int) -> None:
+            device = workers[widx]
+            while True:
+                with cond:
+                    while not ready and not drained():
+                        cond.wait()
+                    if not ready or failures:
+                        cond.notify_all()
+                        return
+                    _, _, task = heapq.heappop(ready)
+                    state["in_flight"] += 1
+                start = time.perf_counter() - t0
+                try:
+                    if self.execute_bodies:
+                        task.execute()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with cond:
+                        failures.append(exc)
+                        state["in_flight"] -= 1
+                        cond.notify_all()
+                    return
+                end = time.perf_counter() - t0
+                with cond:
+                    state["executed"] += 1
+                    state["in_flight"] -= 1
+                    trace.add(TaskEvent(
+                        task_name=task.name, task_uid=task.uid, device=widx,
+                        start=start, end=end, flops=task.flops,
+                        precision=task.precision, tag=task.tag,
+                        flops_detail=task.flops_detail,
+                    ))
+                    device.busy_time += end - start
+                    device.tasks_executed += 1
+                    for succ in graph.successors(task):
+                        indegree[succ] -= 1
+                        if indegree[succ] == 0:
+                            heapq.heappush(
+                                ready,
+                                (-succ.priority, order_index[succ], succ))
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(target=worker_loop, args=(i,),
+                             name=f"repro-runtime-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            raise failures[0]
+        if state["executed"] != total:
+            raise SchedulerError(
+                f"schedule executed {state['executed']} of {total} tasks "
+                "(dependency deadlock)"
+            )
+        return ScheduleResult(trace=trace, comm=CommunicationEngine(),
+                              devices=workers)
+
+    # ------------------------------------------------------------------
+    # simulated-device timing (the historical mode)
+    # ------------------------------------------------------------------
+    def _run_simulated(self, graph: TaskGraph) -> ScheduleResult:
         for device in self.devices:
             device.reset()
         self.comm.reset()
@@ -86,13 +272,7 @@ class Scheduler:
         location: dict[DataHandle, int] = {}
         finish_time: dict[Task, float] = {}
 
-        # ready-queue keyed by (-priority, insertion order)
-        indegree = {t: len(graph.predecessors(t)) for t in graph.tasks}
-        order_index = {t: i for i, t in enumerate(graph.tasks)}
-        ready: list[tuple[int, int, Task]] = []
-        for t in graph.tasks:
-            if indegree[t] == 0:
-                heapq.heappush(ready, (-t.priority, order_index[t], t))
+        indegree, order_index, ready = _ready_heap(graph)
 
         executed = 0
         while ready:
@@ -141,6 +321,7 @@ class Scheduler:
                 flops=task.flops,
                 precision=task.precision,
                 tag=task.tag,
+                flops_detail=task.flops_detail,
             ))
             executed += 1
 
@@ -150,7 +331,7 @@ class Scheduler:
                     heapq.heappush(ready, (-succ.priority, order_index[succ], succ))
 
         if executed != graph.num_tasks:
-            raise RuntimeError(
+            raise SchedulerError(
                 f"schedule executed {executed} of {graph.num_tasks} tasks "
                 "(dependency deadlock)"
             )

@@ -102,6 +102,12 @@ class Task:
         panel tasks higher priority, mirroring PaRSEC's priority hints).
     tag:
         Free-form metadata (tile coordinates etc.).
+    flops_detail:
+        Optional per-precision split of ``flops`` for tasks whose work
+        spans more than one compute precision (e.g. a Build row task
+        mixing the INT8 SNP Gram with the FP32 confounder Gram).  When
+        given, trace-level precision accounting uses this split instead
+        of attributing everything to ``precision``.
     """
 
     name: str
@@ -111,6 +117,7 @@ class Task:
     precision: Precision = Precision.FP64
     priority: int = 0
     tag: Any = None
+    flops_detail: dict[Precision, float] | None = None
     uid: int = field(default_factory=lambda: next(_task_counter))
 
     def __post_init__(self) -> None:

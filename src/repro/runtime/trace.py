@@ -17,7 +17,7 @@ from repro.precision.formats import Precision
 
 @dataclass(frozen=True)
 class TaskEvent:
-    """One task execution in the simulated schedule."""
+    """One task execution in a (simulated or wall-clock) schedule."""
 
     task_name: str
     task_uid: int
@@ -27,6 +27,8 @@ class TaskEvent:
     flops: float
     precision: Precision
     tag: object = None
+    #: optional per-precision split of ``flops`` (see ``Task.flops_detail``)
+    flops_detail: object = None
 
     @property
     def duration(self) -> float:
@@ -64,8 +66,17 @@ class ExecutionTrace:
     def flops_by_precision(self) -> dict[Precision, float]:
         out: dict[Precision, float] = {}
         for e in self.events:
-            out[e.precision] = out.get(e.precision, 0.0) + e.flops
+            if e.flops_detail:
+                for prec, fl in e.flops_detail.items():
+                    out[prec] = out.get(prec, 0.0) + fl
+            else:
+                out[e.precision] = out.get(e.precision, 0.0) + e.flops
         return out
+
+    def merge(self, other: "ExecutionTrace") -> "ExecutionTrace":
+        """Append ``other``'s events (used to accumulate phase traces)."""
+        self.events.extend(other.events)
+        return self
 
     def busy_time_by_device(self) -> dict[int, float]:
         out: dict[int, float] = {}

@@ -13,6 +13,7 @@ panels are all held as tile grids.  The container supports
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping
 from typing import Callable, Iterator
 
@@ -60,6 +61,12 @@ class TileMatrix:
         self.default_precision = Precision.from_string(precision)
         self.symmetric = symmetric
         self._tiles: dict[tuple[int, int], Tile] = {}
+        # Guards lazy tile materialization and grid mutation: reads of
+        # an unmaterialized tile *write* a zero tile into the grid, so
+        # concurrent task bodies (the threaded runtime) need the grid
+        # dict to mutate atomically.  Payload arrays themselves are
+        # never shared mutably — set_tile replaces tile objects.
+        self._grid_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # construction
@@ -154,12 +161,15 @@ class TileMatrix:
         *copy* of the stored lower tile.
         """
         key, transpose = self._stored_key(i, j)
-        if key not in self._tiles:
-            shape = self.layout.tile_shape(*key)
-            self._tiles[key] = Tile(
-                np.zeros(shape), precision=self.default_precision, coords=key
-            )
-        tile = self._tiles[key]
+        tile = self._tiles.get(key)
+        if tile is None:
+            with self._grid_lock:
+                tile = self._tiles.get(key)
+                if tile is None:
+                    shape = self.layout.tile_shape(*key)
+                    tile = Tile(np.zeros(shape),
+                                precision=self.default_precision, coords=key)
+                    self._tiles[key] = tile
         if transpose:
             return Tile(tile.to_float64().T, precision=tile.precision, coords=(i, j))
         return tile
@@ -174,10 +184,13 @@ class TileMatrix:
             raise ValueError(
                 f"tile {key} expects shape {expected}, got {payload.shape}"
             )
-        p = Precision.from_string(precision) if precision is not None else (
-            self._tiles[key].precision if key in self._tiles else self.default_precision
-        )
-        self._tiles[key] = Tile(payload, precision=p, coords=key)
+        with self._grid_lock:
+            p = Precision.from_string(precision) if precision is not None else (
+                self._tiles[key].precision if key in self._tiles
+                else self.default_precision
+            )
+            tile = Tile(payload, precision=p, coords=key)
+            self._tiles[key] = tile
 
     def tile_precision(self, i: int, j: int) -> Precision:
         key, _ = self._stored_key(i, j)

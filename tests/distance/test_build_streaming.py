@@ -181,3 +181,38 @@ class TestStreamingContainer:
     def test_empty_norm_is_zero(self):
         tm = TileMatrix.empty(16, 16, 8)
         assert tm.norm("fro") == 0.0
+
+
+class TestBoundedInFlightRows:
+    def test_row_payloads_released_after_consume(self, genotypes):
+        """Consumed row blocks must not survive on their handles — the
+        streamed Build's peak stays bounded, not O(n^2)."""
+        from repro.runtime.runtime import Runtime
+        from repro.runtime.task import AccessMode
+
+        rt = Runtime(execution="threaded", workers=2)
+        builder = KernelBuilder(gamma=0.03, tile_size=8, runtime=rt)
+        builder.build_training(genotypes)
+        # handles were released with the namespace...
+        assert not [n for n in rt.handles if n.startswith("build")]
+        # ...and the consume bodies dropped each row payload eagerly
+        for task in rt.last_graph.tasks:
+            if task.name == "build_row":
+                for handle, mode in task.accesses:
+                    if mode is AccessMode.WRITE:
+                        assert handle.payload is None
+
+    def test_row_tasks_throttled_by_consume_window(self, genotypes):
+        """Late row tasks depend on earlier consume tasks, so at most
+        ~4*workers row blocks can ever be in flight."""
+        from repro.runtime.runtime import Runtime
+
+        rt = Runtime(execution="threaded", workers=1)  # window = 4
+        builder = KernelBuilder(gamma=0.03, tile_size=8, runtime=rt)
+        builder.build_training(genotypes)  # 9 tile rows at n=72
+        graph = rt.last_graph
+        consumes = {t.tag: t for t in graph.tasks if t.name == "consume_row"}
+        rows = {t.tag: t for t in graph.tasks if t.name == "build_row"}
+        for bi, row_task in rows.items():
+            if bi >= 4:
+                assert consumes[bi - 4] in graph.predecessors(row_task)

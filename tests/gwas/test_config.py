@@ -152,3 +152,61 @@ class TestPredictBatchRows:
         with pytest.raises(ValueError):
             KRRConfig(predict_batch_rows=0)
         assert KRRConfig(predict_batch_rows=None).predict_batch_rows is None
+
+
+class TestExecutionKnobs:
+    """The unified workers/execution knob and the build_workers migration."""
+
+    def test_defaults(self):
+        cfg = KRRConfig()
+        assert cfg.workers is None
+        assert cfg.execution is None
+        assert cfg.build_workers is None
+
+    def test_workers_and_execution_validate(self):
+        assert KRRConfig(workers=4, execution="threaded").workers == 4
+        assert RRConfig(workers=2, execution="serial").execution == "serial"
+        with pytest.raises(ValueError):
+            KRRConfig(workers=0)
+        with pytest.raises(ValueError):
+            KRRConfig(execution="warp-speed")
+        with pytest.raises(ValueError):
+            RRConfig(execution="warp-speed")
+
+    def test_build_workers_deprecated_but_honoured(self):
+        with pytest.warns(DeprecationWarning, match="build_workers"):
+            cfg = KRRConfig(build_workers=4)
+        # the legacy knob seeds the unified one
+        assert cfg.workers == 4
+
+    def test_build_workers_does_not_override_explicit_workers(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = KRRConfig(build_workers=4, workers=2)
+        assert cfg.workers == 2
+
+    def test_build_workers_warns_through_with_options(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = KRRConfig().with_options(build_workers=3)
+        assert cfg.workers == 3
+
+    def test_build_workers_validation(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                KRRConfig(build_workers=0)
+
+    def test_session_runtime_follows_config(self):
+        from repro.gwas.session import KRRSession, RRSession
+
+        session = KRRSession(KRRConfig(workers=2, execution="serial"))
+        assert session.runtime.execution == "serial"
+        assert session.runtime.workers == 2
+        rr = RRSession(RRConfig(workers=3, execution="threaded"))
+        assert rr.runtime.execution == "threaded"
+        assert rr.runtime.workers == 3
+
+    def test_legacy_build_workers_drives_session_runtime(self):
+        from repro.gwas.session import KRRSession
+
+        with pytest.warns(DeprecationWarning):
+            session = KRRSession(KRRConfig(build_workers=2))
+        assert session.runtime.workers == 2

@@ -391,3 +391,111 @@ class TestShallowRegularizedCopy:
         w1 = session.associate(y, alpha=0.5)
         w2 = session.associate(y, alpha=0.5)
         np.testing.assert_array_equal(w1, w2)
+
+
+class TestRuntimeTraceAccounting:
+    """The session-owned runtime's traces are the accounting source."""
+
+    def test_session_owns_one_runtime_across_phases(self, cohort_512):
+        g_train, y, g_test = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        runtime = session.runtime
+        scheduler = runtime.scheduler
+        session.fit(g_train, y)
+        session.predict(g_test)
+        assert session.runtime is runtime
+        assert runtime.scheduler is scheduler
+        # Build + Associate (cholesky + 2 solve sweeps) + Predict all
+        # drained through the one runtime
+        assert runtime.runs_completed >= 5
+
+    def test_phase_flops_match_phase_traces(self, cohort_512):
+        g_train, y, g_test = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        session.predict(g_test)
+        rt = session.runtime
+        assert session.phase_flops["build"] == pytest.approx(
+            rt.phase_trace("build").total_flops)
+        assert session.phase_flops["associate"] == pytest.approx(
+            rt.phase_trace("associate").total_flops)
+        assert session.phase_flops["predict"] == pytest.approx(
+            rt.phase_trace("predict").total_flops)
+
+    def test_associate_includes_factorization_and_solve_tasks(self, cohort_512):
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.build(g_train)
+        session.associate(y)
+        trace = session.runtime.phase_trace("associate")
+        names = {e.task_name for e in trace.events}
+        assert {"potrf", "trsm", "syrk", "solve_trsm", "solve_gemm"} <= names
+        # associate accounting = factorization + weight-panel solve
+        assert session.phase_flops["associate"] > \
+            session.factorization_.flops > 0
+
+    def test_failed_boost_attempts_never_pollute_accounting(self):
+        n = 64
+        k = _indefinite_kernel(n, min_eig=-5.0)
+        session = KRRSession(KRRConfig(
+            tile_size=32, alpha=1.0, precision_plan=PrecisionPlan.fp64()))
+        session.adopt_kernel(k)
+        session.associate(np.ones(n))
+        assert session.regularization_boosts_ == 1
+        # only the successful factorization's tasks are in the trace:
+        # nt=2 gives 2 potrf + 1 trsm + 1 syrk (+ 2x2 solve rows)
+        trace = session.runtime.phase_trace("associate")
+        by_name = {}
+        for e in trace.events:
+            by_name[e.task_name] = by_name.get(e.task_name, 0) + 1
+        assert by_name["potrf"] == 2
+        assert session.phase_flops["associate"] == pytest.approx(
+            trace.total_flops)
+
+    def test_serial_and_threaded_sessions_bitwise_identical(self, cohort_512):
+        g_train, y, g_test = cohort_512
+        serial = KRRSession(KRRConfig(tile_size=64, execution="serial"))
+        threaded = KRRSession(KRRConfig(tile_size=64, execution="threaded",
+                                        workers=8))
+        p_serial = serial.fit_predict(g_train, y, g_test)
+        p_threaded = threaded.fit_predict(g_train, y, g_test)
+        np.testing.assert_array_equal(p_threaded, p_serial)
+        assert serial.phase_flops == threaded.phase_flops
+
+    def test_reassociate_clears_predict_trace(self, cohort_512):
+        """phase_flops and the runtime's predict trace must stay in
+        lock-step across a re-associate (which resets predict)."""
+        g_train, y, g_test = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        session.predict(g_test)
+        session.associate(y, alpha=1.0)
+        assert session.runtime.phase_trace("predict").num_tasks == 0
+        session.predict(g_test)
+        assert session.phase_flops["predict"] == pytest.approx(
+            session.runtime.phase_trace("predict").total_flops)
+
+    def test_adopt_kernel_resets_build_accounting(self, cohort_512):
+        """Adopting a foreign kernel after a build must drop the stale
+        build entry from *both* accounting views."""
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(
+            tile_size=64, precision_plan=PrecisionPlan.fp64()))
+        session.build(g_train)
+        assert session.phase_flops["build"] > 0
+        k = _indefinite_kernel(64, min_eig=0.5)
+        session.adopt_kernel(k)
+        assert "build" not in session.phase_flops
+        session.associate(np.ones(64))
+        assert sum(session.phase_flops.values()) == pytest.approx(
+            sum(session.flops_by_precision.values()))
+
+    def test_adopt_kernel_consistent_before_next_associate(self, cohort_512):
+        """Between adopt_kernel and the next associate, both accounting
+        views must already agree (no stale build contribution)."""
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        session.adopt_kernel(_indefinite_kernel(64, min_eig=0.5))
+        assert sum(session.phase_flops.values()) == pytest.approx(
+            sum(session.flops_by_precision.values()))

@@ -93,12 +93,12 @@ class TestRuntimeConsistency:
         build = model.build(train.genotypes, train.confounders)
         a = build.to_dense() + model.config.alpha * np.eye(train.n_individuals)
 
-        direct = cholesky(a, tile_size=64, working_precision="fp32")
-        runtime = Runtime(num_devices=4)
+        direct = cholesky(a, tile_size=64, working_precision="fp32",
+                          execution="serial")
+        runtime = Runtime(execution="threaded", workers=4)
         scheduled = cholesky(a, tile_size=64, working_precision="fp32",
                              runtime=runtime)
-        np.testing.assert_allclose(scheduled.to_dense(), direct.to_dense(),
-                                   rtol=1e-6, atol=1e-6)
+        np.testing.assert_array_equal(scheduled.to_dense(), direct.to_dense())
 
         y = train.phenotypes[:, :1] - train.phenotypes[:, :1].mean(axis=0)
         w_direct = solve_cholesky(direct, y, precision="fp32")

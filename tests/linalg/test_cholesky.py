@@ -120,30 +120,55 @@ class TestMixedPrecision:
 
 
 class TestRuntimePath:
-    def test_runtime_matches_direct(self):
+    def test_runtime_bitwise_matches_serial(self):
+        """The DAG path (the default) equals the serial elimination bit
+        for bit — the acceptance contract of the threaded executor."""
         a = _spd(48)
-        direct = cholesky(a, tile_size=16, working_precision=Precision.FP32)
-        runtime = Runtime(num_devices=3)
+        serial = cholesky(a, tile_size=16, working_precision=Precision.FP32,
+                          execution="serial")
+        runtime = Runtime(execution="threaded", workers=3)
         via_runtime = cholesky(a, tile_size=16, working_precision=Precision.FP32,
                                runtime=runtime)
-        np.testing.assert_allclose(via_runtime.to_dense(), direct.to_dense(),
-                                   rtol=1e-6, atol=1e-6)
+        np.testing.assert_array_equal(via_runtime.to_dense(), serial.to_dense())
+
+    def test_default_execution_is_dag(self):
+        a = _spd(32)
+        result = cholesky(a, tile_size=16)
+        assert result.schedule is not None
+        assert result.schedule.trace.num_tasks > 0
 
     def test_runtime_schedule_attached(self):
         a = _spd(32)
-        runtime = Runtime(num_devices=2)
+        runtime = Runtime(num_devices=2, execution="simulated")
         result = cholesky(a, tile_size=16, runtime=runtime)
         assert result.schedule is not None
-        assert result.schedule.trace.num_tasks == runtime.graph.num_tasks
-        assert runtime.graph.is_acyclic()
+        # run() drains the pending graph; the drained DAG is retained
+        assert runtime.graph.num_tasks == 0
+        assert result.schedule.trace.num_tasks == runtime.last_graph.num_tasks
+        assert runtime.last_graph.is_acyclic()
 
     def test_runtime_task_count_matches_tile_algorithm(self):
         a = _spd(64)
-        runtime = Runtime(num_devices=2)
+        runtime = Runtime(num_devices=2, execution="simulated")
         cholesky(a, tile_size=16, runtime=runtime)
-        counts = runtime.graph.task_counts_by_name()
+        counts = runtime.last_graph.task_counts_by_name()
         assert counts["potrf"] == 4
         assert counts["gemm"] == 4
+
+    def test_session_runtime_reused_across_factorizations(self):
+        """One session-long runtime serves repeated factorizations, with
+        a single scheduler and a collision-free handle registry."""
+        runtime = Runtime(execution="threaded", workers=2)
+        scheduler = runtime.scheduler
+        for seed in (0, 1, 2):
+            a = _spd(48, seed=seed)
+            direct = cholesky(a, tile_size=16, execution="serial")
+            again = cholesky(a, tile_size=16, runtime=runtime)
+            np.testing.assert_array_equal(again.to_dense(), direct.to_dense())
+        assert runtime.scheduler is scheduler  # never silently rebuilt
+        assert runtime.runs_completed == 3
+        # per-invocation namespaces were released after the copy-back
+        assert not [n for n in runtime.handles if n.startswith("chol")]
 
 
 class TestFlopsFormula:

@@ -45,7 +45,7 @@ class TestDeviceModel:
 
 class TestRuntimeExecution:
     def test_correct_execution_order_and_results(self):
-        rt = Runtime(num_devices=2)
+        rt = Runtime(workers=2)
         a = rt.register_data("a", payload=np.array([1.0]))
         b = rt.register_data("b", payload=np.array([0.0]))
         rt.insert_task("double", (a, AccessMode.READWRITE), body=lambda x: x * 2,
@@ -58,7 +58,7 @@ class TestRuntimeExecution:
         assert result.trace.num_tasks == 2
 
     def test_all_tasks_executed_in_dependency_order(self):
-        rt = Runtime(num_devices=4)
+        rt = Runtime(workers=4)
         handles = [rt.register_data(f"x{i}", payload=i) for i in range(6)]
         order = []
 
@@ -83,7 +83,7 @@ class TestRuntimeExecution:
 
     def test_makespan_respects_critical_path(self):
         model = DeviceModel("slow", {Precision.FP32: 1e9})
-        rt = Runtime(num_devices=8, device_model=model)
+        rt = Runtime(num_devices=8, device_model=model, execution="simulated")
         a = rt.register_data("a", payload=1.0, precision=Precision.FP32)
         for _ in range(4):
             rt.insert_task("step", (a, AccessMode.READWRITE), flops=1e9,
@@ -94,7 +94,7 @@ class TestRuntimeExecution:
 
     def test_parallel_tasks_use_multiple_devices(self):
         model = DeviceModel("slow", {Precision.FP32: 1e9})
-        rt = Runtime(num_devices=4, device_model=model)
+        rt = Runtime(num_devices=4, device_model=model, execution="simulated")
         handles = [rt.register_data(f"h{i}", payload=1.0, shape=(1,),
                                     home_device=i) for i in range(4)]
         for h in handles:
@@ -106,7 +106,7 @@ class TestRuntimeExecution:
         assert result.makespan == pytest.approx(1.0, rel=0.1)
 
     def test_transfers_recorded_when_data_moves(self):
-        rt = Runtime(num_devices=2)
+        rt = Runtime(num_devices=2, execution="simulated")
         a = rt.register_data("a", payload=np.ones((16, 16)),
                              precision=Precision.FP32, home_device=0)
         b = rt.register_data("b", payload=np.zeros((16, 16)),
@@ -118,7 +118,7 @@ class TestRuntimeExecution:
         assert result.comm.total_bytes > 0
 
     def test_priority_breaks_ties(self):
-        rt = Runtime(num_devices=1)
+        rt = Runtime(workers=1)
         executed = []
         a = rt.register_data("a", payload=0)
         b = rt.register_data("b", payload=0)
@@ -130,7 +130,7 @@ class TestRuntimeExecution:
         assert executed[0] == "high"
 
     def test_trace_summary_and_flops_by_precision(self):
-        rt = Runtime(num_devices=1)
+        rt = Runtime(workers=1)
         a = rt.register_data("a", payload=1.0)
         rt.insert_task("k16", (a, AccessMode.READWRITE), flops=100,
                        precision=Precision.FP16)
@@ -153,7 +153,7 @@ class TestRuntimeExecution:
         assert rt.data("a") is a
 
     def test_gantt_rows_sorted(self):
-        rt = Runtime(num_devices=2)
+        rt = Runtime(workers=2)
         a = rt.register_data("a", payload=1.0)
         for i in range(3):
             rt.insert_task(f"t{i}", (a, AccessMode.READWRITE), flops=10.0)
