@@ -16,10 +16,27 @@ Typical use::
         tile_size=64, precision_plan=PrecisionPlan.adaptive_fp16()))
     session.fit(train_genotypes, train_phenotypes)
     predictions = session.predict(test_genotypes)
+
+Fitting and serving are decoupled by the immutable
+:class:`~repro.gwas.model.FittedModel` artifact: ``export_model()``
+extracts the predict-side state (weights, γ/α, SNP-panel contract and
+the storage-precision tiled factorization), ``save``/``load``
+round-trip it bitwise with each tile in its native precision bytes,
+and the :mod:`repro.serve` tier answers concurrent predict requests
+against registered models through tile-aligned micro-batches::
+
+    model = session.export_model()
+    model.save("height.npz")
+
+    registry = ModelRegistry(max_resident_bytes=2 << 30)
+    registry.register("height", FittedModel.load("height.npz"))
+    with PredictionService(registry) as service:
+        result = service.predict(cohort, model="height")
 """
 
 from repro.data.dataset import GWASDataset, TrainTestSplit
-from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
+from repro.data.io import load_model, save_model
+from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig, ServeConfig
 from repro.gwas.cv import CrossValidationResult, grid_search_cv
 from repro.gwas.metrics import (
     accuracy_report,
@@ -27,17 +44,32 @@ from repro.gwas.metrics import (
     mspe,
     pearson_correlation,
 )
+from repro.gwas.model import FittedModel
 from repro.gwas.session import KRRSession, RRSession
 from repro.gwas.workflow import GWASWorkflow, WorkflowResult
 from repro.precision.formats import Precision
+from repro.serve import (
+    ModelKey,
+    ModelRegistry,
+    PredictionService,
+    PredictResult,
+)
 
 __all__ = [
     "KRRSession",
     "RRSession",
     "KRRConfig",
     "RRConfig",
+    "ServeConfig",
     "PrecisionPlan",
     "Precision",
+    "FittedModel",
+    "save_model",
+    "load_model",
+    "ModelRegistry",
+    "ModelKey",
+    "PredictionService",
+    "PredictResult",
     "GWASDataset",
     "TrainTestSplit",
     "GWASWorkflow",

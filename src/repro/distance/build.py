@@ -146,6 +146,51 @@ class _OperandContext:
 
 
 @dataclass
+class TrainOperands:
+    """Cached train-side GEMM operand state for cross-kernel builds.
+
+    A serving session predicts many test cohorts against one fixed
+    training panel; quantizing that panel, materializing its float
+    casts and folding its squared norms is the dominant *fixed* cost of
+    each predict call.  :meth:`KernelBuilder.train_operands` prepares
+    this state once and :meth:`KernelBuilder.iter_cross_rows` accepts
+    it back, so a micro-batch of requests pays the preparation once.
+
+    Reuse is bitwise-safe: the cached values are produced by exactly
+    the code the uncached path runs, on the same arrays.
+    """
+
+    genotypes: np.ndarray
+    confounders: np.ndarray | None
+    snp_precision: Precision
+    confounder_precision: Precision
+    q: QuantizedOperand
+    d: np.ndarray
+    qc: QuantizedOperand | None
+    e: np.ndarray | None
+
+    def check_compatible(self, train_genotypes: np.ndarray,
+                         train_confounders: np.ndarray | None,
+                         snp_precision: Precision,
+                         confounder_precision: Precision) -> None:
+        """Reject reuse against a different panel or input precision."""
+        if self.genotypes is not train_genotypes:
+            raise ValueError(
+                "TrainOperands were prepared for a different training "
+                "genotype matrix")
+        if (self.confounders is None) != (train_confounders is None) or (
+                self.confounders is not None
+                and self.confounders is not train_confounders):
+            raise ValueError(
+                "TrainOperands were prepared for different confounders")
+        if (self.snp_precision is not snp_precision
+                or self.confounder_precision is not confounder_precision):
+            raise ValueError(
+                "TrainOperands were prepared under different input "
+                "precisions")
+
+
+@dataclass
 class CrossRowBlock:
     """One streamed row batch of the rectangular cross kernel.
 
@@ -332,9 +377,52 @@ class KernelBuilder:
                                     symmetric)
         return k, flops, {Precision.INT8: flops}
 
+    def _snp_variant(self):
+        return variant_for_input(
+            self.snp_precision if self.snp_precision in (
+                Precision.INT8, Precision.FP64, Precision.FP32,
+                Precision.FP16, Precision.FP8_E4M3,
+            ) else Precision.FP32)
+
+    def _conf_variant(self):
+        return variant_for_input(
+            Precision.FP32 if self.confounder_precision is Precision.FP32
+            else Precision.FP64)
+
+    def train_operands(self, train_genotypes: np.ndarray,
+                       train_confounders: np.ndarray | None = None
+                       ) -> TrainOperands:
+        """Prepare the train-side operand state of cross-kernel builds.
+
+        The returned :class:`TrainOperands` can be passed to any number
+        of :meth:`iter_cross_rows` calls against the same training
+        panel (the prediction service shares one per micro-batch),
+        skipping the per-call quantization, float casts and squared
+        norms of the training matrix.  Values are bitwise identical to
+        the uncached path.
+        """
+        g2 = np.asarray(train_genotypes)
+        snp_variant = self._snp_variant()
+        q2 = QuantizedOperand(g2, snp_variant.input_precision)
+        d2 = squared_norms(
+            g2, integer=self.snp_precision.is_integer).astype(np.float64)
+        qc2 = e2 = None
+        if train_confounders is not None:
+            c64 = np.asarray(train_confounders, dtype=np.float64)
+            qc2 = QuantizedOperand(c64, self._conf_variant().input_precision)
+            e2 = np.einsum("ij,ij->i", c64, c64)
+        return TrainOperands(
+            genotypes=g2, confounders=train_confounders,
+            snp_precision=snp_variant.input_precision,
+            confounder_precision=self._conf_variant().input_precision,
+            q=q2, d=d2, qc=qc2, e=e2,
+        )
+
     def _prepare_operands(self, g1: np.ndarray, g2: np.ndarray,
                           c1: np.ndarray | None, c2: np.ndarray | None,
-                          symmetric: bool) -> _OperandContext:
+                          symmetric: bool,
+                          train_cache: TrainOperands | None = None
+                          ) -> _OperandContext:
         """Quantize/cache the GEMM operands once per kernel computation."""
         if g1.shape[1] != g2.shape[1]:
             raise ValueError("genotype matrices must share the SNP dimension")
@@ -344,18 +432,22 @@ class KernelBuilder:
         n1, n2 = g1.shape[0], g2.shape[0]
         ns = g1.shape[1]
 
-        snp_variant = variant_for_input(
-            self.snp_precision if self.snp_precision in (
-                Precision.INT8, Precision.FP64, Precision.FP32,
-                Precision.FP16, Precision.FP8_E4M3,
-            ) else Precision.FP32)
-        conf_variant = variant_for_input(
-            Precision.FP32 if self.confounder_precision is Precision.FP32
-            else Precision.FP64)
+        snp_variant = self._snp_variant()
+        conf_variant = self._conf_variant()
+        if train_cache is not None:
+            if symmetric:
+                raise ValueError(
+                    "train-side operand caching applies to cross kernels "
+                    "only")
+            train_cache.check_compatible(
+                g2, c2, snp_variant.input_precision,
+                conf_variant.input_precision)
 
         # Quantize each operand side once; row blocks slice shared views.
         q1 = QuantizedOperand(g1, snp_variant.input_precision)
-        q2 = q1 if symmetric else QuantizedOperand(g2, snp_variant.input_precision)
+        q2 = q1 if symmetric else (
+            train_cache.q if train_cache is not None
+            else QuantizedOperand(g2, snp_variant.input_precision))
         # materialize the float/max|.| caches before threading so the
         # worker tasks only ever read shared state; the integer path
         # picks the narrowest exact BLAS dtype (sgemm for genotypes)
@@ -371,19 +463,28 @@ class KernelBuilder:
                 q2.max_abs()
 
         d1 = squared_norms(g1, integer=self.snp_precision.is_integer).astype(np.float64)
-        d2 = d1 if symmetric else squared_norms(
-            g2, integer=self.snp_precision.is_integer).astype(np.float64)
+        if symmetric:
+            d2 = d1
+        elif train_cache is not None:
+            d2 = train_cache.d
+        else:
+            d2 = squared_norms(
+                g2, integer=self.snp_precision.is_integer).astype(np.float64)
 
         if c1 is not None:
             qc1 = QuantizedOperand(np.asarray(c1, dtype=np.float64),
                                    conf_variant.input_precision)
-            qc2 = qc1 if symmetric else QuantizedOperand(
-                np.asarray(c2, dtype=np.float64), conf_variant.input_precision)
             e1 = np.einsum("ij,ij->i", np.asarray(c1, dtype=np.float64),
                            np.asarray(c1, dtype=np.float64))
-            e2 = e1 if symmetric else np.einsum(
-                "ij,ij->i", np.asarray(c2, dtype=np.float64),
-                np.asarray(c2, dtype=np.float64))
+            if symmetric:
+                qc2, e2 = qc1, e1
+            elif train_cache is not None:
+                qc2, e2 = train_cache.qc, train_cache.e
+            else:
+                qc2 = QuantizedOperand(np.asarray(c2, dtype=np.float64),
+                                       conf_variant.input_precision)
+                e2 = np.einsum("ij,ij->i", np.asarray(c2, dtype=np.float64),
+                               np.asarray(c2, dtype=np.float64))
             n_conf = np.asarray(c1).shape[1]
         else:
             qc1 = qc2 = None
@@ -469,7 +570,8 @@ class KernelBuilder:
                         train_genotypes: np.ndarray,
                         test_confounders: np.ndarray | None = None,
                         train_confounders: np.ndarray | None = None,
-                        batch_rows: int | None = None
+                        batch_rows: int | None = None,
+                        train_cache: TrainOperands | None = None
                         ) -> Iterator[CrossRowBlock]:
         """Stream the rectangular test-vs-train kernel in row batches.
 
@@ -479,6 +581,11 @@ class KernelBuilder:
         pipeline, so the peak cross-kernel temporary is one batch
         instead of the full ``n_test × n_train`` panel.  The produced
         values are identical to :meth:`build_cross` for any batching.
+
+        ``train_cache`` (from :meth:`train_operands`) skips the
+        train-side operand preparation — the fixed cost a serving
+        micro-batch amortizes across its requests — without changing a
+        single produced bit.
         """
         test_genotypes = np.asarray(test_genotypes)
         train_genotypes = np.asarray(train_genotypes)
@@ -499,7 +606,7 @@ class KernelBuilder:
 
         ctx = self._prepare_operands(test_genotypes, train_genotypes,
                                      test_confounders, train_confounders,
-                                     symmetric=False)
+                                     symmetric=False, train_cache=train_cache)
         cols = slice(0, n2)
         for r0 in range(0, n1, batch):
             rows = slice(r0, min(r0 + batch, n1))

@@ -155,6 +155,24 @@ class PrecisionPlan(_WithOptionsMixin):
             working_precision=self.working_precision,
         )
 
+    # ------------------------------------------------------------------
+    # artifact (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation (fitted-model artifacts embed this)."""
+        return {
+            "mode": self.mode,
+            "working_precision": self.working_precision.value,
+            "low_precision": self.low_precision.value,
+            "band_high_fraction": self.band_high_fraction,
+            "accuracy": self.accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PrecisionPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
     def precision_map(self, layout: TileLayout,
                       matrix=None) -> dict[tuple[int, int], Precision]:
         """Materialize the per-tile precision map for a given tile layout.
@@ -288,6 +306,12 @@ class KRRConfig(_WithOptionsMixin):
         range of the Gaussian kernel for the scaled-down synthetic
         cohorts used here (exponent of order one instead of hundreds).
         Set False to use γ exactly as given.
+    artifact_compress:
+        Default compression of fitted-model artifacts
+        (:meth:`~repro.gwas.model.FittedModel.save`).  Off by default
+        so the artifact's file size reports the precision mosaic's true
+        native-bytes footprint; turn on to trade save/load time for
+        size.
     """
 
     gamma: float = 0.01
@@ -301,6 +325,7 @@ class KRRConfig(_WithOptionsMixin):
     build_workers: int | None = None
     predict_batch_rows: int | None = 1024
     normalize_gamma: bool = True
+    artifact_compress: bool = False
 
     def __post_init__(self) -> None:
         if self.gamma < 0:
@@ -325,8 +350,46 @@ class KRRConfig(_WithOptionsMixin):
                 raise ValueError("build_workers must be positive (or None)")
             if self.workers is None:
                 object.__setattr__(self, "workers", int(self.build_workers))
+            # Normalize the deprecated knob away once it has seeded
+            # ``workers``: derived configs (``with_options``) re-run this
+            # validator via ``dataclasses.replace``, and a lingering
+            # build_workers would re-warn *and* re-seed ``workers`` —
+            # silently clobbering an explicit ``with_options(workers=None)``.
+            object.__setattr__(self, "build_workers", None)
         object.__setattr__(self, "snp_precision",
                            Precision.from_string(self.snp_precision))
+
+    # ------------------------------------------------------------------
+    # artifact (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation embedded in fitted-model artifacts.
+
+        The machine-specific runtime knobs (``workers``, ``execution``)
+        are deliberately *not* serialized: an artifact loaded on another
+        host must resolve its concurrency from that host's environment,
+        not from wherever the model happened to be trained.
+        """
+        return {
+            "gamma": self.gamma,
+            "alpha": self.alpha,
+            "kernel_type": self.kernel_type,
+            "tile_size": self.tile_size,
+            "precision_plan": self.precision_plan.to_dict(),
+            "snp_precision": self.snp_precision.value,
+            "predict_batch_rows": self.predict_batch_rows,
+            "normalize_gamma": self.normalize_gamma,
+            "artifact_compress": self.artifact_compress,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KRRConfig":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        plan = data.pop("precision_plan", None)
+        if plan is not None:
+            data["precision_plan"] = PrecisionPlan.from_dict(plan)
+        return cls(**data)
 
     #: SNP count at which ``gamma`` is anchored when ``normalize_gamma``.
     GAMMA_REFERENCE_SNPS: ClassVar[float] = 200.0
@@ -341,3 +404,53 @@ class KRRConfig(_WithOptionsMixin):
         if self.normalize_gamma and n_snps > 0:
             return self.gamma * (self.GAMMA_REFERENCE_SNPS / float(n_snps))
         return self.gamma
+
+
+@dataclass(frozen=True)
+class ServeConfig(_WithOptionsMixin):
+    """Knobs of the :mod:`repro.serve` prediction service.
+
+    Parameters
+    ----------
+    max_batch_requests:
+        Coalescing cap: at most this many queued requests (for the same
+        model) are merged into one micro-batch.  1 disables coalescing
+        (the per-request baseline the serve benchmark compares against).
+    batch_window_s:
+        How long the dispatcher keeps a partially-filled micro-batch
+        open waiting for more requests before executing it.  The window
+        bounds the queueing latency a request can pay to batching.
+    batch_rows:
+        Row-batch size of the streamed Predict inside a micro-batch
+        (rounded to a tile multiple, like
+        ``KRRConfig.predict_batch_rows`` which it overrides when set).
+    max_queue_depth:
+        Backpressure bound: ``submit`` raises when this many requests
+        are already queued.  ``None`` means unbounded.
+    trace_reset_batches:
+        Every this many micro-batches per serving session, the
+        session runtime's cumulative traces are dropped
+        (:meth:`~repro.runtime.runtime.Runtime.reset_traces`) so a
+        long-running service's per-task event log stays bounded; the
+        service keeps its own cumulative counters.  ``None`` retains
+        every event.
+    """
+
+    max_batch_requests: int = 8
+    batch_window_s: float = 0.002
+    batch_rows: int | None = None
+    max_queue_depth: int | None = None
+    trace_reset_batches: int | None = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests <= 0:
+            raise ValueError("max_batch_requests must be positive")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if self.batch_rows is not None and self.batch_rows <= 0:
+            raise ValueError("batch_rows must be positive (or None)")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        if (self.trace_reset_batches is not None
+                and self.trace_reset_batches <= 0):
+            raise ValueError("trace_reset_batches must be positive (or None)")

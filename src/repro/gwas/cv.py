@@ -79,7 +79,9 @@ def grid_search_cv(
 ) -> CrossValidationResult:
     """K-fold grid search over (α, γ) for the KRR GWAS model.
 
-    Returns the pair minimizing the mean validation MSPE.  The kernel
+    Returns the pair minimizing the mean validation MSPE; exact score
+    ties break deterministically toward the smallest α, then the
+    smallest γ.  The kernel
     type, tile size and precision plan are taken from ``base_config``;
     ``workers`` / ``execution`` override the base config's task-runtime
     knobs for every session the sweep spawns (each (fold, γ) session
@@ -132,7 +134,10 @@ def grid_search_cv(
     for key, errs in fold_scores.items():
         scores[key] = float(np.mean(errs))
 
-    best_key = min(scores, key=scores.get)
+    # deterministic under exact score ties: smallest alpha, then
+    # smallest gamma — never the dict insertion order of whatever grid
+    # ordering the caller passed
+    best_key = min(scores, key=lambda k: (scores[k], k[0], k[1]))
     return CrossValidationResult(
         best_alpha=best_key[0],
         best_gamma=best_key[1],

@@ -57,7 +57,23 @@ from repro.runtime.runtime import Runtime
 from repro.tiles.layout import TileLayout
 from repro.tiles.matrix import TileMatrix
 
-__all__ = ["KRRSession", "RRSession"]
+__all__ = ["KRRSession", "RRSession", "effective_batch_rows"]
+
+
+def effective_batch_rows(tile_size: int, batch_rows: int | None) -> int | None:
+    """Round a Predict row-batch request to a tile-size multiple.
+
+    Tile-aligned batches keep every Gram product on the same BLAS
+    kernel dispatch as the monolithic path, which is what makes the
+    batched predictions bitwise identical to it; sub-tile batches
+    would drop the FP32 confounder contribution into a GEMV with a
+    different accumulation order.  ``None`` (one monolithic batch)
+    passes through.
+    """
+    if batch_rows is None:
+        return None
+    batch = max(tile_size, int(batch_rows))
+    return (batch // tile_size) * tile_size
 
 
 def _panel_rows(panel: TileMatrix) -> np.ndarray:
@@ -353,47 +369,91 @@ class KRRSession:
     def _effective_batch(self, batch_rows: int | None) -> int | None:
         """Round the requested batch to a tile-size multiple (min one tile).
 
-        Tile-aligned batches keep every Gram product on the same BLAS
-        kernel dispatch as the monolithic path, which is what makes the
-        batched predictions bitwise identical to it; sub-tile batches
-        would drop the FP32 confounder contribution into a GEMV with a
-        different accumulation order.
+        See :func:`effective_batch_rows` for the rationale.
         """
-        if batch_rows is None:
-            return None
-        tile = self.config.tile_size
-        batch = max(tile, int(batch_rows))
-        return (batch // tile) * tile
+        return effective_batch_rows(self.config.tile_size, batch_rows)
 
     def predict(self, genotypes: np.ndarray,
                 confounders: np.ndarray | None = None,
-                batch_rows: int | None = None) -> np.ndarray:
+                batch_rows: int | None = None,
+                phase: str = "predict") -> np.ndarray:
         """Predict phenotypes for a new cohort (Algorithm 4), streamed.
 
         Alias of :meth:`predict_batched` — the streamed row-batch path
         *is* the Predict phase.
         """
         return self.predict_batched(genotypes, confounders,
-                                    batch_rows=batch_rows)
+                                    batch_rows=batch_rows, phase=phase)
 
     def predict_batched(self, genotypes: np.ndarray,
                         confounders: np.ndarray | None = None,
-                        batch_rows: int | None = None) -> np.ndarray:
+                        batch_rows: int | None = None,
+                        phase: str = "predict") -> np.ndarray:
         """Streamed Predict: ``K_test_block · W`` per row batch.
 
         ``batch_rows`` overrides ``config.predict_batch_rows``; the
         effective batch is rounded down to a tile-size multiple so the
         batched result is identical to the monolithic cross-kernel
         path.  Peak memory is one ``batch × n_train`` block.
+
+        ``phase`` labels the runtime tasks and the accounting entry —
+        the prediction service tags its micro-batches ``"serve"`` so
+        the serving load is traceable separately from ad-hoc predicts.
         """
         genotypes = np.asarray(genotypes)
         self._check_test_cohort(genotypes, confounders)
+        batch = self._effective_batch(
+            self.config.predict_batch_rows if batch_rows is None
+            else batch_rows)
+        builder = self._builder(self.gamma_, trace_phase=phase)
+        return self._stream_predict(builder, genotypes, confounders, batch,
+                                    phase)
+
+    def predict_many(self, genotype_list, confounder_list=None,
+                     batch_rows: int | None = None,
+                     phase: str = "predict") -> list[np.ndarray]:
+        """Predict several cohorts as one micro-batch (Serve phase).
+
+        The train-side GEMM operand state — quantization of the
+        training panel, its BLAS float casts, the squared norms — is
+        prepared **once** and shared by every cohort
+        (:meth:`~repro.distance.build.KernelBuilder.train_operands`);
+        each cohort then streams through exactly the tile-aligned
+        row-batch path of :meth:`predict`, with identical block shapes.
+        Per-cohort results are therefore **bitwise identical** to
+        calling :meth:`predict` per cohort, while the fixed per-predict
+        cost is paid once per micro-batch instead of once per request.
+        This is the execution primitive of
+        :class:`repro.serve.PredictionService`.
+        """
+        cohorts = [np.asarray(g) for g in genotype_list]
+        if confounder_list is None:
+            confounder_list = [None] * len(cohorts)
+        confounder_list = list(confounder_list)
+        if len(confounder_list) != len(cohorts):
+            raise ValueError(
+                "confounder_list must carry one entry per cohort")
+        for g, c in zip(cohorts, confounder_list):
+            self._check_test_cohort(g, c)
+        if not cohorts:
+            return []
+        batch = self._effective_batch(
+            self.config.predict_batch_rows if batch_rows is None
+            else batch_rows)
+        builder = self._builder(self.gamma_, trace_phase=phase)
+        cache = builder.train_operands(self.training_genotypes_,
+                                       self.training_confounders_)
+        return [self._stream_predict(builder, g, c, batch, phase,
+                                     train_cache=cache)
+                for g, c in zip(cohorts, confounder_list)]
+
+    def _stream_predict(self, builder: KernelBuilder, genotypes: np.ndarray,
+                        confounders: np.ndarray | None,
+                        batch: int | None, phase: str,
+                        train_cache=None) -> np.ndarray:
+        """The streamed Predict loop shared by solo and micro-batched paths."""
         cfg = self.config
         wp = cfg.precision_plan.working_precision
-        batch = self._effective_batch(
-            cfg.predict_batch_rows if batch_rows is None else batch_rows)
-        builder = self._builder(self.gamma_, trace_phase="predict")
-
         n_train = self.training_genotypes_.shape[0]
         nph = self.weights_.shape[1]
         predictions = np.empty((genotypes.shape[0], nph), dtype=np.float64)
@@ -402,7 +462,7 @@ class KRRSession:
         for block in builder.iter_cross_rows(
                 genotypes, self.training_genotypes_,
                 confounders, self.training_confounders_,
-                batch_rows=batch):
+                batch_rows=batch, train_cache=train_cache):
             gemm_fl = 2.0 * (block.rows.stop - block.rows.start) * n_train * nph
             # per-batch task on the session runtime: the trace event
             # carries the block's Gram flops plus the K_test_block @ W
@@ -411,20 +471,21 @@ class KRRSession:
             detail[wp] = detail.get(wp, 0.0) + gemm_fl
             predictions[block.rows] = gemm(
                 block.kernel, self.weights_, tile_size=cfg.tile_size,
-                precision=wp, runtime=self.runtime, phase="predict",
+                precision=wp, runtime=self.runtime, phase=phase,
                 flops_detail=detail)
             flops += block.flops + gemm_fl
             for prec, fl in detail.items():
                 by_prec[prec] = by_prec.get(prec, 0.0) + fl
 
-        self._account_predict(flops, by_prec)
+        self._account_predict(flops, by_prec, phase=phase)
         return predictions + self.y_means_[None, :]
 
     def _account_predict(self, flops: float,
-                         by_prec: dict[Precision, float]) -> None:
+                         by_prec: dict[Precision, float],
+                         phase: str = "predict") -> None:
         """Fold Predict-phase operations into *both* accounting views."""
-        self.phase_flops["predict"] = (
-            self.phase_flops.get("predict", 0.0) + flops)
+        self.phase_flops[phase] = (
+            self.phase_flops.get(phase, 0.0) + flops)
         for prec, fl in by_prec.items():
             self.flops_by_precision[prec] = (
                 self.flops_by_precision.get(prec, 0.0) + fl)
@@ -494,6 +555,72 @@ class KRRSession:
         return solve_cholesky(self.factorization_, y_centered,
                               precision=self.config.precision_plan.working_precision,
                               runtime=self.runtime, phase="solve")
+
+    # ------------------------------------------------------------------
+    # fitted-model artifacts
+    # ------------------------------------------------------------------
+    def export_model(self) -> "FittedModel":
+        """Extract the predict-side state as an immutable artifact.
+
+        The artifact holds the weight panel, phenotype means, effective
+        γ/α, training cohort reference and the storage-precision tiled
+        factorization — everything :meth:`predict` and
+        :meth:`solve_additional_phenotypes` need, detached from this
+        session (the factor is copied; later ``associate`` calls do not
+        disturb exported models).  See
+        :class:`~repro.gwas.model.FittedModel` for the save/load
+        contract.
+        """
+        from repro.gwas.model import FittedModel
+
+        if (self.weights_ is None or self.factorization_ is None
+                or self.training_genotypes_ is None):
+            raise RuntimeError(
+                "export_model() requires a fitted session: run fit() (or "
+                "build() + associate()) first")
+        # unpacked_lower: per-tile copies of the lower triangle only —
+        # the factorization workspace may hold materialized zero upper
+        # tiles, which would inflate the artifact's resident footprint
+        return FittedModel(
+            config=self.config,
+            gamma=self.gamma_,
+            alpha=self.alpha_,
+            weights=self.weights_,
+            y_means=self.y_means_,
+            factor=self.factorization_.factor.unpacked_lower(),
+            training_genotypes=self.training_genotypes_,
+            training_confounders=self.training_confounders_,
+        )
+
+    @classmethod
+    def from_model(cls, model: "FittedModel", workers: int | None = None,
+                   execution: str | None = None) -> "KRRSession":
+        """Reconstitute a serving session from a fitted-model artifact.
+
+        The restored session predicts (and factor-reuses) bitwise
+        identically to the exporting session; it owns a fresh
+        :class:`~repro.runtime.runtime.Runtime` whose concurrency
+        resolves on *this* host (``workers``/``execution`` override).
+        ``build``/``associate`` remain available but start from scratch
+        — the artifact does not carry the training kernel.
+        """
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if execution is not None:
+            overrides["execution"] = execution
+        config = model.config.with_options(**overrides) if overrides \
+            else model.config
+        session = cls(config)
+        session.training_genotypes_ = model.training_genotypes
+        session.training_confounders_ = model.training_confounders
+        session.gamma_ = model.gamma
+        session.alpha_ = model.alpha
+        session.weights_ = model.weights
+        session.y_means_ = model.y_means
+        session.factorization_ = CholeskyResult(factor=model.factor,
+                                                flops=0.0)
+        return session
 
 
 class RRSession:

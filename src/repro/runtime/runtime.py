@@ -309,9 +309,31 @@ class Runtime:
         """Cumulative trace of every successful run tagged ``phase``."""
         return self._phase_traces.setdefault(phase, ExecutionTrace())
 
+    def phases(self) -> tuple[str, ...]:
+        """Names of the phases this runtime has traced, first-run order.
+
+        Sessions tag fit-phase runs ``"build"``/``"associate"``/
+        ``"predict"``; the prediction service tags its micro-batches
+        ``"serve"`` — so a serving host's runtime exposes the service
+        load as its own phase trace.
+        """
+        return tuple(self._phase_traces)
+
     def clear_phase(self, phase: str) -> None:
         """Reset one phase's cumulative trace (e.g. on re-associate)."""
         self._phase_traces.pop(phase, None)
+
+    def reset_traces(self) -> None:
+        """Drop the cumulative session and phase traces.
+
+        Long-lived runtimes (a serving session answering traffic
+        indefinitely) accumulate one event per executed task; callers
+        that account flops out-of-band — the prediction service keeps
+        its own counters — reset periodically to bound trace memory.
+        Pending tasks and registered data are untouched.
+        """
+        self.session_trace = ExecutionTrace()
+        self._phase_traces.clear()
 
     # ------------------------------------------------------------------
     # convenience statistics

@@ -1,0 +1,397 @@
+"""Concurrent prediction service over fitted-model artifacts.
+
+``PredictionService`` is the serving front end of the reproduction:
+clients submit per-cohort predict requests concurrently; a single
+dispatcher thread coalesces queued requests for the same model into
+**micro-batches** (:mod:`repro.serve.batching`), executes them through
+the model's serving session — one shared task
+:class:`~repro.runtime.runtime.Runtime`, the same threaded out-of-order
+scheduler that runs the fit phases — and resolves each request's future
+with its predictions plus per-request latency/flops stats.
+
+Correctness contract: a request's predictions are **bitwise identical**
+to calling ``session.predict`` on that request's cohort alone,
+regardless of which other requests it was coalesced with (the
+micro-batch shares the quantized train-side operand context while each
+cohort keeps solo tile-aligned block shapes — see
+:meth:`~repro.gwas.session.KRRSession.predict_many` and
+``docs/api.md``).
+
+Throughput contract: coalescing amortizes the per-predict fixed costs —
+quantization and BLAS float casts of the training panel, its squared
+norms, builder setup — across every request in the micro-batch;
+``benchmarks/test_bench_serve.py`` records the micro-batched vs
+per-request throughput on a 2048-cohort model under 8 concurrent
+clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gwas.config import ServeConfig
+from repro.gwas.model import FittedModel
+from repro.gwas.session import KRRSession
+from repro.serve.batching import plan_micro_batch
+from repro.serve.registry import ModelKey, ModelRegistry
+
+__all__ = ["PredictionService", "PredictResult", "ServiceStats"]
+
+#: Phase label of every serving run on the shared session runtimes —
+#: ``session.runtime.phase_trace("serve")`` is the service-side trace.
+SERVE_PHASE = "serve"
+
+#: Name a bare ``FittedModel`` is registered under.
+DEFAULT_MODEL_NAME = "default"
+
+
+@dataclass(frozen=True)
+class PredictResult:
+    """One request's predictions plus its serving statistics.
+
+    Attributes
+    ----------
+    predictions:
+        ``(rows, n_phenotypes)`` prediction panel for the request's
+        cohort.
+    model_key:
+        The ``(name, version)`` the request was served by.
+    rows:
+        Cohort size of this request.
+    flops:
+        Operations attributable to this request (exact — predict cost
+        is linear in rows — not a share estimate).
+    latency_s:
+        Submit-to-result wall time.
+    queue_s:
+        Time spent queued/coalescing before execution started.
+    compute_s:
+        Wall time of the micro-batch execution this request rode in
+        (shared across its ``coalesced_requests``).
+    coalesced_requests:
+        How many requests the micro-batch merged (1 = no coalescing).
+    micro_batches:
+        Tile-aligned row batches this request's cohort streamed
+        through inside the micro-batch.
+    """
+
+    predictions: np.ndarray
+    model_key: ModelKey
+    rows: int
+    flops: float
+    latency_s: float
+    queue_s: float
+    compute_s: float
+    coalesced_requests: int
+    micro_batches: int
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative service-side counters (snapshot via ``service.stats``)."""
+
+    requests: int = 0
+    batches: int = 0
+    rows: int = 0
+    flops: float = 0.0
+    compute_s: float = 0.0
+    max_coalesced: int = 0
+    failures: int = 0
+
+    @property
+    def mean_coalesced(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _PendingRequest:
+    key: ModelKey
+    model: FittedModel
+    genotypes: np.ndarray
+    confounders: np.ndarray | None
+    future: Future
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+class PredictionService:
+    """Micro-batching prediction front end over a model registry.
+
+    Parameters
+    ----------
+    models:
+        A :class:`~repro.serve.registry.ModelRegistry`, or a single
+        :class:`~repro.gwas.model.FittedModel` (registered under
+        ``"default"`` in a fresh registry).
+    config:
+        :class:`~repro.gwas.config.ServeConfig` coalescing knobs.
+    workers, execution:
+        Task-runtime knobs of the per-model serving sessions (``None``
+        resolves from this host's environment, like any session).
+    autostart:
+        Start the dispatcher thread immediately.  Pass ``False`` to
+        enqueue requests first and :meth:`start` later — deterministic
+        coalescing for tests and batch jobs.
+    """
+
+    def __init__(self, models: ModelRegistry | FittedModel,
+                 config: ServeConfig | None = None,
+                 workers: int | None = None,
+                 execution: str | None = None,
+                 autostart: bool = True) -> None:
+        if isinstance(models, ModelRegistry):
+            self.registry = models
+        elif isinstance(models, FittedModel):
+            self.registry = ModelRegistry()
+            self.registry.register(DEFAULT_MODEL_NAME, models)
+        else:
+            raise TypeError(
+                "models must be a ModelRegistry or a FittedModel")
+        self.config = config or ServeConfig()
+        self._workers = workers
+        self._execution = execution
+        self._sessions: dict[ModelKey, KRRSession] = {}
+        self._session_batches: dict[ModelKey, int] = {}
+        self._queue: deque[_PendingRequest] = deque()
+        self._cond = threading.Condition()
+        self._stats = ServiceStats()
+        self._stop = False
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionService":
+        """Start the dispatcher thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("the service has been closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-serve-dispatcher", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain queued requests, then stop the dispatcher.
+
+        Requests enqueued before :meth:`start` are drained too: if no
+        dispatcher thread ever ran, the dispatch loop executes once on
+        the closing thread so no submitted future is left unresolved.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        else:
+            # autostart=False and never started: serve the backlog
+            # inline (the loop exits once the queue is empty)
+            self._dispatch_loop()
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, genotypes: np.ndarray,
+               confounders: np.ndarray | None = None,
+               model: str = DEFAULT_MODEL_NAME,
+               version: int | None = None) -> Future:
+        """Enqueue one cohort's predict request; returns its future.
+
+        The model is resolved (and its registry recency bumped) at
+        submit time, so an eviction between submit and execution cannot
+        fail the request.  Cohort/model contract violations (SNP panel
+        width, confounder presence) raise here, synchronously.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed service")
+        entry = self.registry.entry(model, version)
+        fitted = entry.model
+        genotypes = np.asarray(genotypes)
+        if genotypes.ndim != 2:
+            raise ValueError("the request cohort must be a 2D matrix")
+        if genotypes.shape[1] != fitted.n_snps:
+            raise ValueError(
+                f"request cohort has {genotypes.shape[1]} SNPs; model "
+                f"{entry.key.name!r} v{entry.key.version} expects "
+                f"{fitted.n_snps}")
+        if (confounders is None) != (fitted.training_confounders is None):
+            raise ValueError(
+                "request confounders must match the model's training "
+                "configuration")
+        if confounders is not None:
+            confounders = np.asarray(confounders, dtype=np.float64)
+            # full geometry check here, synchronously: a malformed
+            # request failing inside the dispatcher would poison every
+            # innocent request coalesced into its micro-batch
+            if confounders.ndim != 2 or \
+                    confounders.shape[0] != genotypes.shape[0]:
+                raise ValueError(
+                    "request confounders must be 2D with one row per "
+                    "cohort individual")
+            if confounders.shape[1] != fitted.training_confounders.shape[1]:
+                raise ValueError(
+                    f"request has {confounders.shape[1]} confounder "
+                    f"column(s); the model expects "
+                    f"{fitted.training_confounders.shape[1]}")
+        request = _PendingRequest(
+            key=entry.key, model=fitted, genotypes=genotypes,
+            confounders=confounders, future=Future())
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed service")
+            depth = self.config.max_queue_depth
+            if depth is not None and len(self._queue) >= depth:
+                raise RuntimeError(
+                    f"serve queue is full ({depth} pending requests)")
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request.future
+
+    def predict(self, genotypes: np.ndarray,
+                confounders: np.ndarray | None = None,
+                model: str = DEFAULT_MODEL_NAME,
+                version: int | None = None,
+                timeout: float | None = None) -> PredictResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(genotypes, confounders, model=model,
+                           version=version).result(timeout=timeout)
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A snapshot copy of the cumulative serving counters."""
+        with self._cond:
+            return ServiceStats(**vars(self._stats))
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _pull_same_key(self, key: ModelKey, limit: int) -> list[_PendingRequest]:
+        """Remove up to ``limit`` queued requests for ``key`` (lock held)."""
+        if limit <= 0:
+            return []
+        pulled: list[_PendingRequest] = []
+        remaining: deque[_PendingRequest] = deque()
+        while self._queue:
+            req = self._queue.popleft()
+            if req.key == key and len(pulled) < limit:
+                pulled.append(req)
+            else:
+                remaining.append(req)
+        self._queue = remaining
+        return pulled
+
+    def _dispatch_loop(self) -> None:
+        cfg = self.config
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # stopped and drained
+                first = self._queue.popleft()
+            batch = [first]
+            deadline = time.perf_counter() + cfg.batch_window_s
+            while len(batch) < cfg.max_batch_requests:
+                with self._cond:
+                    batch.extend(self._pull_same_key(
+                        first.key, cfg.max_batch_requests - len(batch)))
+                    if len(batch) >= cfg.max_batch_requests or self._stop:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+            self._execute(batch)
+
+    def _session_for(self, key: ModelKey, model: FittedModel) -> KRRSession:
+        session = self._sessions.get(key)
+        if session is None:
+            session = KRRSession.from_model(model, workers=self._workers,
+                                            execution=self._execution)
+            self._sessions[key] = session
+            # retire serving sessions of models the registry evicted
+            self._sessions = {k: s for k, s in self._sessions.items()
+                              if k == key or k in self.registry}
+        return session
+
+    def _execute(self, batch: list[_PendingRequest]) -> None:
+        try:
+            key, model = batch[0].key, batch[0].model
+            session = self._session_for(key, model)
+            batch_rows = (self.config.batch_rows
+                          if self.config.batch_rows is not None
+                          else session.config.predict_batch_rows)
+            genotypes = [r.genotypes for r in batch]
+            confounders = [r.confounders for r in batch]
+            plan = plan_micro_batch(genotypes, confounders,
+                                    session.config.tile_size, batch_rows)
+            t0 = time.perf_counter()
+            parts = session.predict_many(
+                genotypes,
+                None if batch[0].confounders is None else confounders,
+                batch_rows=batch_rows, phase=SERVE_PHASE)
+            compute_s = time.perf_counter() - t0
+            # bound the long-lived session's per-task event log: the
+            # service accounts its own counters, the trace is advisory
+            reset_every = self.config.trace_reset_batches
+            if reset_every is not None:
+                done_batches = self._session_batches.get(key, 0) + 1
+                self._session_batches[key] = done_batches
+                if done_batches % reset_every == 0:
+                    session.runtime.reset_traces()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            with self._cond:
+                self._stats.failures += len(batch)
+            for req in batch:
+                req.future.set_exception(exc)
+            return
+
+        done = time.perf_counter()
+        total_flops = 0.0
+        for req, preds, row_batches in zip(batch, parts, plan.row_batches):
+            rows = preds.shape[0]
+            flops = req.model.predict_flops(rows)
+            total_flops += flops
+            req.future.set_result(PredictResult(
+                predictions=preds,
+                model_key=req.key,
+                rows=rows,
+                flops=flops,
+                latency_s=done - req.submitted_at,
+                queue_s=t0 - req.submitted_at,
+                compute_s=compute_s,
+                coalesced_requests=len(batch),
+                micro_batches=row_batches,
+            ))
+        with self._cond:
+            s = self._stats
+            s.requests += len(batch)
+            s.batches += 1
+            s.rows += plan.total_rows
+            s.flops += total_flops
+            s.compute_s += compute_s
+            s.max_coalesced = max(s.max_coalesced, len(batch))

@@ -32,8 +32,18 @@ from repro.tiles.adaptive import (
 )
 from repro.tiles.band import band_fraction_map, band_precision_map
 from repro.tiles.lowrank import LowRankTile, TLRMatrix, compress_tile
+from repro.tiles.serialize import (
+    load_tile_matrix,
+    pack_tile_matrix,
+    save_tile_matrix,
+    unpack_tile_matrix,
+)
 
 __all__ = [
+    "save_tile_matrix",
+    "load_tile_matrix",
+    "pack_tile_matrix",
+    "unpack_tile_matrix",
     "TileLayout",
     "BlockCyclicDistribution",
     "Tile",

@@ -216,3 +216,59 @@ class TestBoundedInFlightRows:
         for bi, row_task in rows.items():
             if bi >= 4:
                 assert consumes[bi - 4] in graph.predecessors(row_task)
+
+
+class TestTrainOperandCache:
+    """Shared train-side operand state of the serving micro-batches."""
+
+    def test_cached_cross_rows_bitwise_identical(self, small_genotypes):
+        train = small_genotypes[:80]
+        tests = [small_genotypes[80:91], small_genotypes[91:120]]
+        builder = KernelBuilder(gamma=0.05, tile_size=32)
+        cache = builder.train_operands(train)
+        for cohort in tests:
+            fresh = [b.kernel for b in builder.iter_cross_rows(
+                cohort, train, batch_rows=32)]
+            cached = [b.kernel for b in builder.iter_cross_rows(
+                cohort, train, batch_rows=32, train_cache=cache)]
+            assert len(fresh) == len(cached)
+            for a, b in zip(fresh, cached):
+                assert np.array_equal(a, b)
+
+    def test_cached_confounders_bitwise_identical(self, small_genotypes):
+        rng = np.random.default_rng(3)
+        train, test = small_genotypes[:80], small_genotypes[80:]
+        c_train = rng.standard_normal((80, 3))
+        c_test = rng.standard_normal((test.shape[0], 3))
+        builder = KernelBuilder(gamma=0.05, tile_size=32)
+        cache = builder.train_operands(train, c_train)
+        fresh = next(builder.iter_cross_rows(test, train, c_test, c_train))
+        cached = next(builder.iter_cross_rows(test, train, c_test, c_train,
+                                              train_cache=cache))
+        assert np.array_equal(fresh.kernel, cached.kernel)
+
+    def test_foreign_panel_rejected(self, small_genotypes):
+        train, other = small_genotypes[:60], small_genotypes[:60].copy()
+        builder = KernelBuilder(gamma=0.05, tile_size=32)
+        cache = builder.train_operands(train)
+        with pytest.raises(ValueError, match="different training"):
+            next(builder.iter_cross_rows(small_genotypes[60:], other,
+                                         train_cache=cache))
+
+    def test_foreign_precision_rejected(self, small_genotypes):
+        train = small_genotypes[:60]
+        cache = KernelBuilder(gamma=0.05, tile_size=32,
+                              snp_precision="fp32").train_operands(train)
+        builder = KernelBuilder(gamma=0.05, tile_size=32,
+                                snp_precision="int8")
+        with pytest.raises(ValueError, match="input\\s+precisions"):
+            next(builder.iter_cross_rows(small_genotypes[60:], train,
+                                         train_cache=cache))
+
+    def test_symmetric_build_rejects_cache(self, small_genotypes):
+        train = small_genotypes[:60]
+        builder = KernelBuilder(gamma=0.05, tile_size=32)
+        cache = builder.train_operands(train)
+        with pytest.raises(ValueError, match="cross kernels"):
+            builder._prepare_operands(train, train, None, None,
+                                      symmetric=True, train_cache=cache)

@@ -189,6 +189,27 @@ class TestExecutionKnobs:
             cfg = KRRConfig().with_options(build_workers=3)
         assert cfg.workers == 3
 
+    def test_build_workers_normalized_away_after_seeding(self):
+        """Once honoured, the deprecated knob must not survive on the
+        config: ``with_options`` re-runs validation via
+        ``dataclasses.replace``, and a lingering build_workers would
+        re-warn and clobber explicit worker overrides."""
+        import warnings
+
+        with pytest.warns(DeprecationWarning):
+            cfg = KRRConfig(build_workers=4)
+        assert cfg.workers == 4
+        assert cfg.build_workers is None
+        # deriving a config must not re-emit the deprecation warning ...
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            derived = cfg.with_options(alpha=2.0)
+            # ... and an explicit workers override must not be clobbered
+            cleared = cfg.with_options(workers=None)
+        assert derived.workers == 4
+        assert cleared.workers is None
+        assert cleared.build_workers is None
+
     def test_build_workers_validation(self):
         with pytest.warns(DeprecationWarning):
             with pytest.raises(ValueError):
@@ -210,3 +231,64 @@ class TestExecutionKnobs:
         with pytest.warns(DeprecationWarning):
             session = KRRSession(KRRConfig(build_workers=2))
         assert session.runtime.workers == 2
+
+
+class TestConfigSerialization:
+    """to_dict/from_dict — the artifact embedding of configs."""
+
+    def test_krr_round_trip(self):
+        cfg = KRRConfig(
+            gamma=0.035, alpha=2.5, kernel_type="gaussian", tile_size=32,
+            precision_plan=PrecisionPlan.adaptive_fp8(accuracy=0.3),
+            snp_precision="fp32", predict_batch_rows=256,
+            normalize_gamma=False, artifact_compress=True)
+        back = KRRConfig.from_dict(cfg.to_dict())
+        assert back == cfg
+
+    def test_runtime_knobs_not_serialized(self):
+        cfg = KRRConfig(workers=7, execution="serial")
+        data = cfg.to_dict()
+        assert "workers" not in data and "execution" not in data
+        back = KRRConfig.from_dict(data)
+        assert back.workers is None and back.execution is None
+
+    def test_dict_is_json_ready(self):
+        import json
+
+        payload = json.dumps(KRRConfig().to_dict())
+        assert KRRConfig.from_dict(json.loads(payload)) == KRRConfig()
+
+    def test_precision_plan_round_trip(self):
+        plan = PrecisionPlan.band(0.6, low_precision="fp8")
+        assert PrecisionPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        from repro.gwas.config import ServeConfig
+
+        cfg = ServeConfig()
+        assert cfg.max_batch_requests == 8
+        assert cfg.batch_window_s > 0
+        assert cfg.batch_rows is None
+        assert cfg.max_queue_depth is None
+
+    def test_validation(self):
+        from repro.gwas.config import ServeConfig
+
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch_requests=0)
+        with pytest.raises(ValueError):
+            ServeConfig(batch_window_s=-1.0)
+        with pytest.raises(ValueError):
+            ServeConfig(batch_rows=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue_depth=0)
+
+    def test_with_options(self):
+        from repro.gwas.config import ServeConfig
+
+        cfg = ServeConfig().with_options(max_batch_requests=16)
+        assert cfg.max_batch_requests == 16
+        with pytest.raises(ValueError):
+            ServeConfig().with_options(window=1)  # unknown field

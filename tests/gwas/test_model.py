@@ -1,0 +1,229 @@
+"""Tests for the FittedModel artifact: export, save/load, bitwise predict.
+
+The headline acceptance contract: ``FittedModel.load(p).predict(X)``
+equals the originating session's ``predict(X)`` **exactly** across
+fp64, fp32, adaptive-fp16 and adaptive-fp8 plans, and the serialized
+adaptive-fp8 artifact is measurably smaller than the fp32 one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_model, save_model
+from repro.gwas.config import KRRConfig, PrecisionPlan
+from repro.gwas.model import FittedModel
+from repro.gwas.session import KRRSession
+from repro.precision.formats import Precision
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    rng = np.random.default_rng(17)
+    n, ns = 256, 64
+    g_train = rng.integers(0, 3, size=(n, ns)).astype(np.int8)
+    y = rng.standard_normal((n, 3))
+    g_test = rng.integers(0, 3, size=(150, ns)).astype(np.int8)
+    return g_train, y, g_test
+
+
+PLANS = [
+    pytest.param(PrecisionPlan.fp64(), id="fp64"),
+    pytest.param(PrecisionPlan.fp32(), id="fp32"),
+    pytest.param(PrecisionPlan.adaptive_fp16(), id="adaptive-fp16"),
+    pytest.param(PrecisionPlan.adaptive_fp8(), id="adaptive-fp8"),
+]
+
+
+def _fitted(cohort, plan) -> KRRSession:
+    g_train, y, _ = cohort
+    session = KRRSession(KRRConfig(tile_size=64, precision_plan=plan))
+    session.fit(g_train, y)
+    return session
+
+
+class TestExport:
+    def test_requires_fitted_session(self):
+        with pytest.raises(RuntimeError, match="fitted session"):
+            KRRSession(KRRConfig()).export_model()
+
+    def test_export_carries_the_predict_state(self, cohort):
+        g_train, y, _ = cohort
+        session = _fitted(cohort, PrecisionPlan.adaptive_fp16())
+        model = session.export_model()
+        assert model.n_train == g_train.shape[0]
+        assert model.n_snps == g_train.shape[1]
+        assert model.n_phenotypes == y.shape[1]
+        assert model.gamma == session.gamma_
+        assert model.alpha == session.alpha_
+        assert np.array_equal(model.weights, session.weights_)
+        assert np.array_equal(model.y_means, session.y_means_)
+
+    def test_artifact_arrays_are_frozen(self, cohort):
+        model = _fitted(cohort, PrecisionPlan.fp32()).export_model()
+        for arr in (model.weights, model.y_means, model.training_genotypes):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_runtime_knobs_are_not_exported(self, cohort):
+        g_train, y, _ = cohort
+        session = KRRSession(KRRConfig(tile_size=64, workers=2,
+                                       execution="serial"))
+        session.fit(g_train, y)
+        model = session.export_model()
+        assert model.config.workers is None
+        assert model.config.execution is None
+
+    def test_later_associate_does_not_disturb_exported_model(self, cohort):
+        g_train, y, g_test = cohort
+        session = _fitted(cohort, PrecisionPlan.fp32())
+        model = session.export_model()
+        ref = model.predict(g_test)
+        session.associate(y, alpha=50.0)  # mutates the session, not the model
+        assert np.array_equal(model.predict(g_test), ref)
+
+    def test_factor_keeps_the_storage_mosaic(self, cohort):
+        model = _fitted(cohort, PrecisionPlan.adaptive_fp8()).export_model()
+        by_prec = model.footprint_by_precision()
+        assert Precision.FP8_E4M3 in by_prec, (
+            "the adaptive-fp8 factor should store FP8 tiles")
+
+    def test_predict_flops_linear_in_rows(self, cohort):
+        model = _fitted(cohort, PrecisionPlan.fp32()).export_model()
+        assert model.predict_flops(20) == pytest.approx(
+            2 * model.predict_flops(10))
+
+
+class TestBitwiseRoundTrip:
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_load_predicts_bitwise_identically(self, cohort, plan, tmp_path):
+        g_train, y, g_test = cohort
+        session = _fitted(cohort, plan)
+        ref = session.predict(g_test)
+        path = session.export_model().save(tmp_path / "model")
+        loaded = FittedModel.load(path)
+        assert np.array_equal(loaded.predict(g_test), ref)
+        # and a full serving session restored from the artifact agrees
+        restored = KRRSession.from_model(loaded)
+        assert np.array_equal(restored.predict(g_test), ref)
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_factor_round_trips_bitwise(self, cohort, plan, tmp_path):
+        session = _fitted(cohort, plan)
+        model = session.export_model()
+        loaded = FittedModel.load(model.save(tmp_path / "model"))
+        for (i, j) in model.factor._iter_stored():
+            a = model.factor._tiles.get((i, j))
+            if a is None:
+                continue
+            b = loaded.factor.get_tile(i, j)
+            assert b.precision is a.precision
+            assert np.array_equal(b.data, a.data)
+
+    def test_factor_solves_round_trip_bitwise(self, cohort, tmp_path):
+        g_train, y, _ = cohort
+        session = _fitted(cohort, PrecisionPlan.adaptive_fp16())
+        rng = np.random.default_rng(3)
+        extra = rng.standard_normal((g_train.shape[0], 2))
+        ref = np.asarray(session.solve_additional_phenotypes(extra))
+        loaded = FittedModel.load(
+            session.export_model().save(tmp_path / "model"))
+        assert np.array_equal(
+            np.asarray(loaded.solve_additional_phenotypes(extra)), ref)
+
+    def test_confounders_round_trip(self, cohort, tmp_path):
+        g_train, y, g_test = cohort
+        rng = np.random.default_rng(5)
+        conf_train = rng.standard_normal((g_train.shape[0], 4))
+        conf_test = rng.standard_normal((g_test.shape[0], 4))
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y, conf_train)
+        ref = session.predict(g_test, conf_test)
+        loaded = FittedModel.load(
+            session.export_model().save(tmp_path / "model"))
+        assert loaded.training_confounders is not None
+        assert np.array_equal(loaded.predict(g_test, conf_test), ref)
+        with pytest.raises(ValueError):
+            loaded.predict(g_test)  # confounder contract enforced
+
+    def test_resident_bytes_survive_the_round_trip(self, cohort, tmp_path):
+        model = _fitted(cohort, PrecisionPlan.adaptive_fp8()).export_model()
+        loaded = FittedModel.load(model.save(tmp_path / "model"))
+        assert loaded.resident_bytes() == model.resident_bytes()
+
+    def test_boosted_alpha_is_persisted(self, cohort, tmp_path):
+        g_train, y, _ = cohort
+        session = _fitted(cohort, PrecisionPlan.fp32())
+        loaded = FittedModel.load(
+            session.export_model().save(tmp_path / "model"))
+        assert loaded.alpha == session.alpha_
+        assert loaded.gamma == session.gamma_
+
+
+class TestArtifactFootprint:
+    def test_fp8_artifact_measurably_smaller_than_fp32(self, cohort, tmp_path):
+        """Acceptance criterion: the on-disk footprint follows the mosaic."""
+        p32 = _fitted(cohort, PrecisionPlan.fp32()).export_model().save(
+            tmp_path / "fp32")
+        p8 = _fitted(cohort, PrecisionPlan.adaptive_fp8()).export_model().save(
+            tmp_path / "fp8")
+        size32, size8 = p32.stat().st_size, p8.stat().st_size
+        assert size8 < 0.8 * size32, (
+            f"adaptive-fp8 artifact ({size8} B) should be measurably "
+            f"smaller than fp32 ({size32} B)")
+
+    def test_compression_knob(self, cohort, tmp_path):
+        model = _fitted(cohort, PrecisionPlan.fp32()).export_model()
+        raw = model.save(tmp_path / "raw", compress=False)
+        packed = model.save(tmp_path / "packed", compress=True)
+        assert packed.stat().st_size < raw.stat().st_size
+        assert np.array_equal(FittedModel.load(packed).weights,
+                              FittedModel.load(raw).weights)
+
+    def test_config_artifact_compress_default(self, cohort, tmp_path):
+        g_train, y, _ = cohort
+        session = KRRSession(KRRConfig(tile_size=64, artifact_compress=True))
+        session.fit(g_train, y)
+        model = session.export_model()
+        compressed = model.save(tmp_path / "default")
+        explicit_raw = model.save(tmp_path / "raw", compress=False)
+        assert compressed.stat().st_size < explicit_raw.stat().st_size
+
+
+class TestIOWiring:
+    def test_save_model_load_model(self, cohort, tmp_path):
+        _, _, g_test = cohort
+        model = _fitted(cohort, PrecisionPlan.fp32()).export_model()
+        path = save_model(model, tmp_path / "via_io")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(g_test), model.predict(g_test))
+
+    def test_save_model_rejects_non_models(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(np.zeros(3), tmp_path / "nope")
+
+    def test_load_rejects_foreign_archives(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, meta_json=np.frombuffer(b'{"format": "other"}',
+                                               dtype=np.uint8))
+        with pytest.raises(ValueError, match="not a fitted-model"):
+            FittedModel.load(path)
+
+
+class TestFromModel:
+    def test_restored_session_supports_factor_reuse(self, cohort):
+        g_train, y, _ = cohort
+        session = _fitted(cohort, PrecisionPlan.fp32())
+        model = session.export_model()
+        restored = KRRSession.from_model(model, execution="serial")
+        assert restored.runtime.execution == "serial"
+        rng = np.random.default_rng(9)
+        extra = rng.standard_normal((g_train.shape[0], 2))
+        assert np.array_equal(
+            np.asarray(restored.solve_additional_phenotypes(extra)),
+            np.asarray(session.solve_additional_phenotypes(extra)))
+
+    def test_restored_session_requires_build_before_associate(self, cohort):
+        model = _fitted(cohort, PrecisionPlan.fp32()).export_model()
+        restored = KRRSession.from_model(model)
+        with pytest.raises(RuntimeError, match="build"):
+            restored.associate(np.zeros(model.n_train))

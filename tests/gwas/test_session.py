@@ -499,3 +499,103 @@ class TestRuntimeTraceAccounting:
         session.adopt_kernel(_indefinite_kernel(64, min_eig=0.5))
         assert sum(session.phase_flops.values()) == pytest.approx(
             sum(session.flops_by_precision.values()))
+
+
+class TestGridSearchTieBreaking:
+    def test_exact_tie_breaks_to_smallest_alpha_then_gamma(self):
+        """With all-zero phenotypes every grid point predicts the mean
+        exactly, so every score ties at 0 — the winner must be the
+        (min alpha, min gamma) pair, not whatever the caller's grid
+        ordering put first in dict insertion order."""
+        rng = np.random.default_rng(2)
+        genotypes = rng.integers(0, 3, size=(48, 20)).astype(np.int8)
+        phenotypes = np.zeros(48)
+
+        result = grid_search_cv(
+            genotypes, phenotypes,
+            alphas=(10.0, 1.0), gammas=(0.1, 0.001),  # descending on purpose
+            n_folds=2, base_config=KRRConfig(tile_size=24))
+
+        tied = [k for k, v in result.scores.items()
+                if v == result.best_score]
+        assert len(tied) == 4, "the construction should tie every grid point"
+        assert result.best_alpha == 1.0
+        assert result.best_gamma == 0.001
+
+
+class TestAdoptKernelAccounting:
+    def test_full_fit_then_adopt_leaves_no_stale_build_flops(self, cohort_512):
+        """After fit() + adopt_kernel(): no negative/stale Build
+        contributions in flops_by_precision and no 'build' phase entry."""
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        # the INT8 Gram flops exist only in the Build phase
+        assert Precision.INT8 in session.flops_by_precision
+
+        session.adopt_kernel(_indefinite_kernel(64, min_eig=0.5))
+
+        assert "build" not in session.phase_flops
+        assert session.runtime.phase_trace("build").num_tasks == 0
+        assert all(fl > 0.0 for fl in session.flops_by_precision.values()), (
+            "no negative or zero-stale per-precision entries may remain")
+        assert Precision.INT8 not in session.flops_by_precision, (
+            "the Build-only INT8 Gram contribution must be dropped")
+
+
+class TestPredictMany:
+    """The micro-batch primitive underneath repro.serve."""
+
+    def test_bitwise_equal_to_solo_predicts(self, cohort_512):
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        rng = np.random.default_rng(13)
+        # sub-tile, non-aligned and multi-batch cohorts
+        cohorts = [rng.integers(0, 3, size=(m, g_train.shape[1])).astype(np.int8)
+                   for m in (1, 33, 64, 130)]
+        refs = [session.predict(c) for c in cohorts]
+        outs = session.predict_many(cohorts, batch_rows=64)
+        refs_batched = [session.predict(c, batch_rows=64) for c in cohorts]
+        for out, ref, ref_b in zip(outs, refs, refs_batched):
+            assert np.array_equal(out, ref)
+            assert np.array_equal(out, ref_b)
+
+    def test_accounting_matches_solo_predicts(self, cohort_512):
+        g_train, y, _ = cohort_512
+        rng = np.random.default_rng(14)
+        cohorts = [rng.integers(0, 3, size=(m, g_train.shape[1])).astype(np.int8)
+                   for m in (40, 70)]
+
+        solo = KRRSession(KRRConfig(tile_size=64))
+        solo.fit(g_train, y)
+        for c in cohorts:
+            solo.predict(c)
+
+        many = KRRSession(KRRConfig(tile_size=64))
+        many.fit(g_train, y)
+        many.predict_many(cohorts)
+
+        assert many.phase_flops["predict"] == pytest.approx(
+            solo.phase_flops["predict"])
+
+    def test_custom_phase_label(self, cohort_512):
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        rng = np.random.default_rng(15)
+        cohort = rng.integers(0, 3, size=(32, g_train.shape[1])).astype(np.int8)
+        session.predict_many([cohort], phase="serve")
+        assert "serve" in session.runtime.phases()
+        assert session.phase_flops["serve"] == pytest.approx(
+            session.runtime.phase_trace("serve").total_flops)
+        assert "predict" not in session.phase_flops
+
+    def test_empty_and_mismatched_lists(self, cohort_512):
+        g_train, y, _ = cohort_512
+        session = KRRSession(KRRConfig(tile_size=64))
+        session.fit(g_train, y)
+        assert session.predict_many([]) == []
+        cohort = g_train[:10]
+        with pytest.raises(ValueError, match="one entry per cohort"):
+            session.predict_many([cohort], confounder_list=[None, None])

@@ -1,0 +1,78 @@
+"""Tests for micro-batch planning and the tile-aligned slice geometry."""
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import (
+    effective_batch_rows,
+    micro_batch_slices,
+    plan_micro_batch,
+)
+
+
+class TestEffectiveBatchRows:
+    def test_rounds_down_to_tile_multiples(self):
+        assert effective_batch_rows(64, 100) == 64
+        assert effective_batch_rows(64, 128) == 128
+        assert effective_batch_rows(64, 190) == 128
+
+    def test_minimum_one_tile(self):
+        assert effective_batch_rows(64, 1) == 64
+
+    def test_none_is_monolithic(self):
+        assert effective_batch_rows(64, None) is None
+
+
+class TestMicroBatchSlices:
+    def test_monolithic(self):
+        assert micro_batch_slices(100, 64, None) == [slice(0, 100)]
+
+    def test_tile_aligned_boundaries(self):
+        slices = micro_batch_slices(150, 64, 64)
+        assert slices == [slice(0, 64), slice(64, 128), slice(128, 150)]
+        assert all(s.start % 64 == 0 for s in slices)
+
+    def test_empty_cohort(self):
+        assert micro_batch_slices(0, 64, 64) == [slice(0, 0)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            micro_batch_slices(-1, 64, 64)
+
+
+class TestPlanMicroBatch:
+    def _cohorts(self, *sizes, ns=16):
+        rng = np.random.default_rng(0)
+        return [rng.integers(0, 3, size=(m, ns)).astype(np.int8)
+                for m in sizes]
+
+    def test_plan_geometry(self):
+        plan = plan_micro_batch(self._cohorts(10, 150, 64), None, 64, 64)
+        assert plan.n_requests == 3
+        assert plan.total_rows == 224
+        assert plan.row_batches == (1, 3, 1)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            plan_micro_batch([], None, 64, 64)
+
+    def test_mismatched_snp_panels_rejected(self):
+        a = self._cohorts(10)[0]
+        b = self._cohorts(10, ns=17)[0]
+        with pytest.raises(ValueError, match="SNP panel"):
+            plan_micro_batch([a, b], None, 64, 64)
+
+    def test_mixed_confounding_rejected(self):
+        cohorts = self._cohorts(8, 8)
+        confs = [np.zeros((8, 2)), None]
+        with pytest.raises(ValueError, match="confounded"):
+            plan_micro_batch(cohorts, confs, 64, 64)
+
+    def test_confounder_row_mismatch_rejected(self):
+        cohorts = self._cohorts(8)
+        with pytest.raises(ValueError, match="one row per"):
+            plan_micro_batch(cohorts, [np.zeros((5, 2))], 64, 64)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2D"):
+            plan_micro_batch([np.zeros(8)], None, 64, 64)

@@ -1,0 +1,200 @@
+"""Bitwise round-trip tests for the mixed-precision tile serializer."""
+
+import numpy as np
+import pytest
+
+from repro.precision.formats import Precision
+from repro.precision.fp8 import fp8_grid, quantize_fp8
+from repro.precision.quantize import quantize
+from repro.tiles.matrix import TileMatrix
+from repro.tiles.serialize import (
+    decode_fp8,
+    decode_payload,
+    encode_fp8,
+    encode_payload,
+    load_tile_matrix,
+    pack_tile_matrix,
+    save_tile_matrix,
+    unpack_tile_matrix,
+)
+
+ALL_STORAGE = [
+    Precision.FP64,
+    Precision.FP32,
+    Precision.FP16,
+    Precision.BF16,
+    Precision.FP8_E4M3,
+    Precision.FP8_E5M2,
+    Precision.INT8,
+    Precision.INT32,
+]
+
+
+class TestFp8Codec:
+    @pytest.mark.parametrize("variant",
+                             [Precision.FP8_E4M3, Precision.FP8_E5M2])
+    def test_full_grid_round_trips_bitwise(self, variant):
+        grid = fp8_grid(variant)
+        values = np.concatenate([grid, -grid]).astype(np.float32)
+        decoded = decode_fp8(encode_fp8(values, variant), variant)
+        assert decoded.dtype == np.float32
+        assert np.array_equal(decoded.view(np.uint32), values.view(np.uint32))
+
+    @pytest.mark.parametrize("variant",
+                             [Precision.FP8_E4M3, Precision.FP8_E5M2])
+    def test_quantized_random_data_round_trips(self, variant):
+        rng = np.random.default_rng(0)
+        x = quantize_fp8(rng.standard_normal((64, 64)) * 10.0, variant)
+        assert np.array_equal(decode_fp8(encode_fp8(x, variant), variant), x)
+
+    def test_nan_round_trips(self):
+        x = np.array([np.nan, 1.0, -2.0], dtype=np.float32)
+        q = quantize_fp8(x)
+        out = decode_fp8(encode_fp8(q), Precision.FP8_E4M3)
+        assert np.isnan(out[0]) and np.array_equal(out[1:], q[1:])
+
+    def test_one_byte_per_element(self):
+        codes = encode_fp8(np.zeros((8, 8), dtype=np.float32))
+        assert codes.dtype == np.uint8 and codes.nbytes == 64
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            encode_fp8(np.array([1e6], dtype=np.float32), Precision.FP8_E4M3)
+
+    def test_non_fp8_precision_rejected(self):
+        with pytest.raises(ValueError):
+            encode_fp8(np.zeros(4), Precision.FP16)
+        with pytest.raises(ValueError):
+            decode_fp8(np.zeros(4, dtype=np.uint8), Precision.FP32)
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("precision", ALL_STORAGE)
+    def test_round_trip_is_bitwise(self, precision):
+        rng = np.random.default_rng(3)
+        data = quantize(rng.standard_normal((32, 32)) * 3.0, precision)
+        raw = encode_payload(data, precision)
+        assert raw.itemsize == precision.bytes_per_element
+        back = decode_payload(raw, precision)
+        assert back.dtype == data.dtype
+        assert np.array_equal(back, data)
+
+    def test_bf16_is_two_bytes_and_exact(self):
+        x = quantize(np.linspace(-5, 5, 97), Precision.BF16)
+        raw = encode_payload(x, Precision.BF16)
+        assert raw.dtype == np.uint16
+        assert np.array_equal(
+            decode_payload(raw, Precision.BF16).view(np.uint32),
+            x.view(np.uint32))
+
+    def test_negative_zero_preserved(self):
+        x = quantize(np.array([-0.0, 0.0]), Precision.FP8_E4M3)
+        back = decode_payload(encode_payload(x, Precision.FP8_E4M3),
+                              Precision.FP8_E4M3)
+        assert np.array_equal(np.signbit(back), np.signbit(x))
+
+
+def _mosaic_matrix(n=128, tile=32, symmetric=True,
+                   precisions=(Precision.FP32, Precision.FP16,
+                               Precision.FP8_E4M3)) -> TileMatrix:
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((n, n))
+    dense = (a + a.T) / 2.0 if symmetric else a
+
+    def pmap(i, j):
+        if i == j:
+            return precisions[0]
+        return precisions[(i + j) % len(precisions)]
+
+    return TileMatrix.from_dense(dense, tile, pmap, symmetric=symmetric)
+
+
+class TestTileMatrixRoundTrip:
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_pack_unpack_bitwise(self, symmetric):
+        m = _mosaic_matrix(symmetric=symmetric)
+        back = unpack_tile_matrix(pack_tile_matrix(m))
+        assert back.shape == m.shape
+        assert back.symmetric == m.symmetric
+        assert back.tile_size == m.tile_size
+        for (i, j) in m._iter_stored():
+            a, b = m.get_tile(i, j), back.get_tile(i, j)
+            assert b.precision is a.precision
+            assert b.data.dtype == a.data.dtype
+            assert np.array_equal(b.data, a.data)
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+    def test_unmaterialized_tiles_stay_implicit(self):
+        m = TileMatrix.empty(96, 96, 32, Precision.FP32)
+        m.set_tile(1, 2, np.ones((32, 32)), precision=Precision.FP16)
+        arrays = pack_tile_matrix(m)
+        assert set(arrays) == {"meta", "t1_2"}
+        back = unpack_tile_matrix(arrays)
+        assert len(back._tiles) == 1
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+    def test_prefix_allows_embedding(self):
+        m = _mosaic_matrix(n=64)
+        arrays = pack_tile_matrix(m, prefix="factor/")
+        arrays["weights"] = np.ones(3)
+        back = unpack_tile_matrix(arrays, prefix="factor/")
+        assert np.array_equal(back.to_dense(), m.to_dense())
+
+    def test_save_load_file(self, tmp_path):
+        m = _mosaic_matrix()
+        p = save_tile_matrix(m, tmp_path / "factor")
+        assert p.suffix == ".npz"
+        back = load_tile_matrix(p)
+        assert np.array_equal(back.to_dense(), m.to_dense())
+        assert back.footprint_by_precision() == m.footprint_by_precision()
+
+    def test_footprint_follows_mosaic(self, tmp_path):
+        """The fp8 mosaic's archive is measurably smaller than fp32's."""
+        n, tile = 256, 32
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((n, n))
+        dense = (a + a.T) / 2.0
+        fp32 = TileMatrix.from_dense(dense, tile, Precision.FP32,
+                                     symmetric=True)
+
+        def fp8_map(i, j):
+            return Precision.FP32 if i == j else Precision.FP8_E4M3
+
+        fp8 = TileMatrix.from_dense(dense, tile, fp8_map, symmetric=True)
+        p32 = save_tile_matrix(fp32, tmp_path / "fp32")
+        p8 = save_tile_matrix(fp8, tmp_path / "fp8")
+        assert p8.stat().st_size < 0.5 * p32.stat().st_size
+
+    def test_future_format_version_rejected(self):
+        m = _mosaic_matrix(n=64)
+        arrays = pack_tile_matrix(m)
+        import json
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode())
+        meta["format_version"] = 99
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                       dtype=np.uint8)
+        with pytest.raises(ValueError, match="newer format"):
+            unpack_tile_matrix(arrays)
+
+
+class TestCodecHardening:
+    """Asymmetries found in review: inf and reserved-pattern collisions."""
+
+    def test_inf_rejected_not_silently_zeroed(self):
+        for variant in (Precision.FP8_E4M3, Precision.FP8_E5M2):
+            with pytest.raises(ValueError, match="quantize"):
+                encode_fp8(np.array([np.inf], dtype=np.float32), variant)
+            with pytest.raises(ValueError, match="quantize"):
+                encode_fp8(np.array([-np.inf], dtype=np.float32), variant)
+
+    def test_e5m2_cannot_collide_with_reserved_exponent(self):
+        # 65536 has binary exponent 16 -> field 31, reserved for inf/NaN
+        with pytest.raises(ValueError, match="range"):
+            encode_fp8(np.array([65536.0], dtype=np.float32),
+                       Precision.FP8_E5M2)
+
+    def test_e4m3_cannot_collide_with_nan_pattern(self):
+        # 480 would encode as S.1111.111 — E4M3's NaN — if unchecked
+        with pytest.raises(ValueError, match="range"):
+            encode_fp8(np.array([480.0], dtype=np.float32),
+                       Precision.FP8_E4M3)
