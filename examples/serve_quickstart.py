@@ -12,7 +12,12 @@ Walks the full serving lifecycle of the reproduction:
    resident tile bytes),
 4. answer concurrent predict requests through a ``PredictionService``,
    whose micro-batching keeps every response bitwise identical to a
-   solo ``session.predict``.
+   solo ``session.predict``,
+5. open the artifact **store-backed** (``FittedModel.load(path,
+   store=TileStore(...))``): the factor tiles stay spilled on disk and
+   fault in lazily, so the registered model costs a fraction of its
+   full footprint in resident bytes — and a predict served after
+   registry-pressure eviction and reload is still bitwise identical.
 
 Usage::
 
@@ -36,6 +41,7 @@ from repro.api import (
     PrecisionPlan,
     PredictionService,
     ServeConfig,
+    TileStore,
 )
 from repro.data import make_ukb_like_cohort
 
@@ -138,6 +144,37 @@ def main() -> None:
     print(f"  bitwise identical to solo session.predict: {all_bitwise}")
     if not all_bitwise:
         raise SystemExit("serving results diverged from the fitted session")
+
+    # ------------------------------------------------------------------
+    # 5) store-backed registration: resident bytes follow actual faults
+    # ------------------------------------------------------------------
+    print("\nStore-backed registration (out-of-core artifacts):")
+    path = artifacts["fp32"]
+    plain = FittedModel.load(path)
+    with TileStore() as store:
+        lazy = FittedModel.load(path, store=store)
+        print(f"  fully-resident load: {plain.resident_bytes() / 1024:8.1f} "
+              f"KiB resident")
+        print(f"  store-backed load:   {lazy.resident_bytes() / 1024:8.1f} "
+              f"KiB resident (factor spilled, "
+              f"{lazy.factor.nbytes() / 1024:.1f} KiB on disk)")
+
+        budgeted = ModelRegistry(max_resident_bytes=2 * lazy.resident_bytes())
+        budgeted.register("height", lazy)
+        # pressure the registry until the store-backed entry is evicted
+        budgeted.register("other", plain)
+        budgeted.register("other2", plain)
+        evicted = budgeted.versions("height") == []
+        # reload from the artifact and serve again: still bitwise exact
+        budgeted.register("height", FittedModel.load(path, store=store))
+        g, c = requests[0]
+        after_reload = budgeted.get("height").predict(g, c)
+        reload_bitwise = np.array_equal(after_reload,
+                                        sessions["fp32"].predict(g, c))
+        print(f"  evicted under registry pressure: {evicted}; predict after "
+              f"reload bitwise identical: {reload_bitwise}")
+        if not reload_bitwise:
+            raise SystemExit("store-backed reload diverged from the session")
 
 
 if __name__ == "__main__":

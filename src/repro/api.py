@@ -54,6 +54,7 @@ from repro.serve import (
     PredictionService,
     PredictResult,
 )
+from repro.store import StoreStats, TileStore
 
 __all__ = [
     "KRRSession",
@@ -70,6 +71,8 @@ __all__ = [
     "ModelKey",
     "PredictionService",
     "PredictResult",
+    "TileStore",
+    "StoreStats",
     "GWASDataset",
     "TrainTestSplit",
     "GWASWorkflow",

@@ -254,6 +254,13 @@ class KernelBuilder:
     trace_phase:
         Phase label of the runtime runs (``"build"``; the solver
         sessions relabel their Predict-phase cross-kernel builds).
+    store:
+        Optional :class:`~repro.store.TileStore`.  The streamed
+        training kernel is built **store-backed**: each finished block
+        row lands in budget-managed tile storage, so rows spill to disk
+        as they are consumed and the resident mosaic never exceeds the
+        store budget — the Build phase's out-of-core mode.  Values are
+        bitwise identical to the unbudgeted Build.
     """
 
     kernel_type: str = "gaussian"
@@ -268,6 +275,7 @@ class KernelBuilder:
     execution: str | None = None
     runtime: Runtime | None = None
     trace_phase: str = "build"
+    store: object | None = None
 
     def __post_init__(self) -> None:
         self.snp_precision = Precision.from_string(self.snp_precision)
@@ -312,6 +320,12 @@ class KernelBuilder:
         staging = Precision.FP64 if self.adaptive_rule is not None else (
             self.storage_precision)
         tiled = TileMatrix.empty(n, n, self.tile_size, staging, symmetric=True)
+        if self.store is not None:
+            # out-of-core Build: consumed rows stream into budget-managed
+            # storage, spilling as the budget fills (bitwise-exact
+            # round-trips; the adaptive pass below faults tiles back in
+            # one at a time to read their norms)
+            tiled.attach_store(self.store)
 
         flops_box: list[float] = [0.0]
         by_prec: dict[Precision, float] = {}

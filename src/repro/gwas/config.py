@@ -312,6 +312,23 @@ class KRRConfig(_WithOptionsMixin):
         so the artifact's file size reports the precision mosaic's true
         native-bytes footprint; turn on to trade save/load time for
         size.
+    store_budget_bytes:
+        Residency budget of the session's out-of-core tile store.  When
+        set (or when the ``REPRO_STORE_BUDGET`` environment variable
+        is), the session creates a :class:`~repro.store.TileStore`, the
+        streamed Build, the Cholesky workspace and the factor become
+        store-backed — least-recently-used tiles spill to disk in their
+        native storage precision and fault back in bitwise — and the
+        scheduler pins each task's tiles while it runs.  Results are
+        **bitwise identical** to the fully-resident run for any budget.
+        ``None`` (and no environment override) keeps everything
+        resident.
+    store_dir:
+        Spill directory of the session store.  ``None`` uses a private
+        temporary directory removed when the store is closed or garbage
+        collected.  Setting ``store_dir`` alone (without a budget)
+        creates an unbounded store, useful only for artifact-backed
+        loading.
     """
 
     gamma: float = 0.01
@@ -326,6 +343,8 @@ class KRRConfig(_WithOptionsMixin):
     predict_batch_rows: int | None = 1024
     normalize_gamma: bool = True
     artifact_compress: bool = False
+    store_budget_bytes: int | None = None
+    store_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.gamma < 0:
@@ -338,6 +357,8 @@ class KRRConfig(_WithOptionsMixin):
             raise ValueError("kernel_type must be 'gaussian' or 'ibs'")
         if self.tile_size <= 0:
             raise ValueError("tile_size must be positive")
+        if self.store_budget_bytes is not None and self.store_budget_bytes <= 0:
+            raise ValueError("store_budget_bytes must be positive (or None)")
         _validate_execution_knobs(self)
         if self.build_workers is not None:
             warnings.warn(
@@ -365,10 +386,11 @@ class KRRConfig(_WithOptionsMixin):
     def to_dict(self) -> dict:
         """JSON-ready representation embedded in fitted-model artifacts.
 
-        The machine-specific runtime knobs (``workers``, ``execution``)
-        are deliberately *not* serialized: an artifact loaded on another
-        host must resolve its concurrency from that host's environment,
-        not from wherever the model happened to be trained.
+        The machine-specific runtime knobs (``workers``, ``execution``,
+        ``store_budget_bytes``, ``store_dir``) are deliberately *not*
+        serialized: an artifact loaded on another host must resolve its
+        concurrency and memory budget from that host's environment, not
+        from wherever the model happened to be trained.
         """
         return {
             "gamma": self.gamma,

@@ -99,8 +99,13 @@ class FittedModel:
         training_confounders: np.ndarray | None = None,
     ) -> None:
         # serving never inherits the training host's runtime knobs
-        if config.workers is not None or config.execution is not None:
-            config = config.with_options(workers=None, execution=None)
+        # (concurrency *and* memory budget resolve on the serving host)
+        if (config.workers is not None or config.execution is not None
+                or config.store_budget_bytes is not None
+                or config.store_dir is not None):
+            config = config.with_options(workers=None, execution=None,
+                                         store_budget_bytes=None,
+                                         store_dir=None)
         self.config = config
         self.gamma = float(gamma)
         self.alpha = float(alpha)
@@ -140,9 +145,11 @@ class FittedModel:
 
         This is the quantity the serving registry's LRU budget evicts
         by — an adaptive-FP8 model is cheaper to keep resident than the
-        same cohort under a uniform FP32 plan.
+        same cohort under a uniform FP32 plan, and a **store-backed**
+        model (:meth:`load` with a ``store``) counts only the factor
+        tiles actually faulted in, not the full on-disk mosaic.
         """
-        total = self.factor.nbytes()
+        total = self.factor.resident_nbytes()
         total += self.weights.nbytes + self.y_means.nbytes
         total += self.training_genotypes.nbytes
         if self.training_confounders is not None:
@@ -235,8 +242,19 @@ class FittedModel:
         return write_archive(path, arrays, compress=compress)
 
     @classmethod
-    def load(cls, path: str | Path) -> "FittedModel":
-        """Load an artifact written by :meth:`save` (bitwise faithful)."""
+    def load(cls, path: str | Path, store=None) -> "FittedModel":
+        """Load an artifact written by :meth:`save` (bitwise faithful).
+
+        With ``store`` (a :class:`~repro.store.TileStore`) the factor
+        opens **store-backed and fully spilled**: its tiles stream from
+        the archive straight into a spill segment and fault in lazily
+        on first use, so the loaded model's :meth:`resident_bytes`
+        reflects only what is actually in memory — which is how a
+        serving registry keeps many more fitted cohorts addressable
+        than fit its resident budget.  Faulted tiles decode the exact
+        bytes the exporting session held, so predictions and factor
+        reuse stay bitwise identical.
+        """
         path = resolve_archive_path(path)
         with np.load(path, allow_pickle=False) as archive:
             meta = meta_from_array(archive["meta_json"])
@@ -248,7 +266,8 @@ class FittedModel:
                 raise ValueError(
                     f"artifact written by a newer format "
                     f"(version {meta['version']} > {ARTIFACT_VERSION})")
-            factor = unpack_tile_matrix(archive, prefix="factor/")
+            factor = unpack_tile_matrix(archive, prefix="factor/",
+                                        store=store)
             return cls(
                 config=KRRConfig.from_dict(meta["config"]),
                 gamma=meta["gamma"],

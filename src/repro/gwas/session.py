@@ -125,6 +125,14 @@ class KRRSession:
         # Predict GEMMs) and its per-phase traces feed the accounting.
         self.runtime = Runtime(execution=config.execution,
                                workers=config.workers)
+        # Out-of-core tile store (None = fully resident).  Created when
+        # the config sets a budget/directory or REPRO_STORE_BUDGET is
+        # in the environment; the streamed Build, the factorization
+        # workspace and the factor then all live under one residency
+        # budget, with the scheduler pinning each task's tiles.
+        self.store = self._make_store(config)
+        if self.store is not None:
+            self.runtime.attach_store(self.store)
         # Build state
         self.build_result_: BuildResult | None = None
         self.kernel_: TileMatrix | None = None
@@ -140,6 +148,28 @@ class KRRSession:
         # accounting (mutated in place so external references stay live)
         self.phase_flops: dict[str, float] = {}
         self.flops_by_precision: dict[Precision, float] = {}
+
+    # ------------------------------------------------------------------
+    # out-of-core store
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_store(config: KRRConfig):
+        from repro.store import TileStore, resolve_store_budget
+
+        budget = resolve_store_budget(config.store_budget_bytes)
+        if budget is None and config.store_dir is None:
+            return None
+        return TileStore(directory=config.store_dir, budget_bytes=budget)
+
+    def store_stats(self):
+        """Snapshot of the session store's :class:`~repro.store.StoreStats`.
+
+        ``None`` when the session runs fully resident.  The headline
+        contract — asserted by the out-of-core tests and benchmark —
+        is ``peak_resident_bytes <= budget_bytes`` alongside bitwise
+        identical fit/predict results.
+        """
+        return self.store.stats.snapshot() if self.store is not None else None
 
     # ------------------------------------------------------------------
     # Phase 1: BUILD
@@ -159,6 +189,7 @@ class KRRSession:
             storage_precision=plan.working_precision,
             runtime=self.runtime,
             trace_phase=trace_phase,
+            store=self.store,
         )
 
     def build(self, genotypes: np.ndarray,

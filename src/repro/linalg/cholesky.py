@@ -195,9 +195,13 @@ def cholesky(
         _cholesky_runtime(tiled, nt, working_precision, tile_precision, result,
                           runtime, phase)
 
-    # zero out the (now meaningless) upper-triangle tiles of the factor
+    # zero out the (now meaningless) upper-triangle tiles of the factor;
+    # tiles that were never materialized already read as zeros, so only
+    # tiles holding stale data (the dense-input path) need overwriting
     for i in range(nt):
         for j in range(i + 1, nt):
+            if not tiled.has_tile_data(i, j):
+                continue
             shape = layout.tile_shape(i, j)
             tiled.set_tile(i, j, np.zeros(shape), precision=tile_precision(i, j))
     return result
@@ -267,6 +271,11 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                       tile_precision, result: CholeskyResult,
                       runtime: Runtime, phase: str = "cholesky") -> None:
     from repro.tiles.tile import Tile
+
+    if tiled.store is not None:
+        _cholesky_runtime_store(tiled, nt, wp, tile_precision, result,
+                                runtime, phase)
+        return
 
     layout = tiled.layout
     runtime.require_drained("cholesky()")
@@ -416,3 +425,177 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
     for (i, j), handle in handles.items():
         tiled.set_tile(i, j, handle.payload.to_float64(),
                        precision=tile_precision(i, j) if i != j else wp)
+
+
+# ----------------------------------------------------------------------
+# store-backed (out-of-core) DAG execution — bitwise identical again
+# ----------------------------------------------------------------------
+def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
+                            tile_precision, result: CholeskyResult,
+                            runtime: Runtime, phase: str) -> None:
+    """Panel-by-panel DAG Cholesky over a store-backed workspace.
+
+    Unlike the resident path — which registers every tile as a handle
+    payload up front, keeping the whole mosaic alive for the duration —
+    this variant's handles are pure synchronization tokens: task bodies
+    read their tiles from the matrix on demand (faulting spilled tiles
+    in) and write results straight back through ``set_tile`` (making
+    them immediately spillable).  The resident working set is therefore
+    the active panel plus the in-flight trailing updates, each pinned
+    via ``tile_deps`` while its task runs.
+
+    Bitwise equivalence with the serial elimination holds for the same
+    reason as the resident DAG path: every read is ordered by an
+    explicit dependency edge, ``set_tile``'s storage-precision rounding
+    is exactly the serial path's, and spill/reload round-trips are
+    exact.
+    """
+    import threading
+
+    layout = tiled.layout
+    binding = tiled._binding
+    runtime.require_drained("cholesky()")
+    try:
+        runtime.attach_store(tiled.store)
+    except RuntimeError:
+        # the runtime is already hooked to a different store: pins and
+        # prefetch for this matrix are skipped, which only costs reload
+        # traffic — eviction/reload round-trips stay bitwise
+        pass
+    ns = runtime.namespace("chol")
+
+    # Synchronization-only handles: one per lower tile, no payload.
+    handles: dict[tuple[int, int], object] = {}
+    for i in range(nt):
+        for j in range(i + 1):
+            handles[(i, j)] = runtime.register_data(
+                f"{ns}A({i},{j})", payload=None,
+                precision=tile_precision(i, j) if i != j else wp,
+                shape=layout.tile_shape(i, j),
+            )
+
+    def dep(i: int, j: int):
+        return (binding, (i, j))
+
+    # Quantized-operand cache, refcounted per (handle uid, precision)
+    # exactly like the resident path: a panel tile's payload is fixed
+    # once its TRSM ran, and reloads are bitwise, so a cached operand is
+    # valid no matter how often the tile spills in between.
+    qcache: dict[tuple[int, Precision], QuantizedOperand] = {}
+    qcount: dict[tuple[int, Precision], int] = {}
+    qlock = threading.Lock()
+
+    def qexpect(uid: int, precision: Precision) -> None:
+        key = (uid, precision)
+        qcount[key] = qcount.get(key, 0) + 1
+
+    def qop(uid: int, tile, precision: Precision) -> QuantizedOperand:
+        key = (uid, precision)
+        got = qcache.get(key)
+        if got is None:
+            got = qcache.setdefault(
+                key, panel_operand(tile.to_float64(), precision))
+        return got
+
+    def qdone(*keys: tuple[int, Precision]) -> None:
+        with qlock:
+            for key in keys:
+                left = qcount.get(key, 0) - 1
+                if left <= 0:
+                    qcount.pop(key, None)
+                    qcache.pop(key, None)
+                else:
+                    qcount[key] = left
+
+    def make_potrf_body(k: int):
+        def body(_a):
+            lkk = tile_potrf(tiled.get_tile(k, k).to_float64(), precision=wp)
+            tiled.set_tile(k, k, lkk, precision=wp)
+        return body
+
+    def make_trsm_body(i: int, k: int, storage: Precision):
+        def body(_lkk, _aik):
+            lik = tile_trsm(tiled.get_tile(k, k).to_float64(),
+                            tiled.get_tile(i, k).to_float64(),
+                            precision=wp, side="right", trans=True)
+            tiled.set_tile(i, k, lik, precision=storage)
+        return body
+
+    def make_syrk_body(i: int, k: int, p: Precision, uid_ik: int):
+        def body(_lik, _aii):
+            out = tile_syrk(qop(uid_ik, tiled.get_tile(i, k), p),
+                            tiled.get_tile(i, i).to_float64(),
+                            precision=p, alpha=-1.0, beta=1.0)
+            qdone((uid_ik, p))
+            tiled.set_tile(i, i, out, precision=p)
+        return body
+
+    def make_gemm_body(i: int, j: int, k: int, p: Precision,
+                       uid_ik: int, uid_jk: int):
+        def body(_lik, _ljk, _aij):
+            out = tile_gemm(qop(uid_ik, tiled.get_tile(i, k), p),
+                            qop(uid_jk, tiled.get_tile(j, k), p),
+                            tiled.get_tile(i, j).to_float64(), precision=p,
+                            alpha=-1.0, beta=1.0, transb=True)
+            qdone((uid_ik, p), (uid_jk, p))
+            tiled.set_tile(i, j, out, precision=p)
+        return body
+
+    for k in range(nt):
+        hkk = handles[(k, k)]
+        nbk = layout.tile_shape(k, k)[0]
+        runtime.insert_task(
+            "potrf", (hkk, AccessMode.READWRITE), body=make_potrf_body(k),
+            flops=potrf_flops(nbk), precision=wp, priority=nt - k + 10,
+            tag=(k, k, k), tile_deps=(dep(k, k),),
+        )
+        _accumulate(result, "potrf", wp, potrf_flops(nbk))
+
+        for i in range(k + 1, nt):
+            hik = handles[(i, k)]
+            mb, nb = layout.tile_shape(i, k)
+            runtime.insert_task(
+                "trsm", (hkk, AccessMode.READ), (hik, AccessMode.READWRITE),
+                body=make_trsm_body(i, k, tile_precision(i, k)),
+                flops=trsm_flops(nb, mb),
+                precision=wp, priority=nt - k + 5, tag=(i, k, k),
+                tile_deps=(dep(k, k), dep(i, k)),
+            )
+            _accumulate(result, "trsm", wp, trsm_flops(nb, mb))
+
+        for i in range(k + 1, nt):
+            hik = handles[(i, k)]
+            hii = handles[(i, i)]
+            nbi = layout.tile_shape(i, i)[0]
+            kbk = layout.tile_shape(i, k)[1]
+            qexpect(hik.uid, wp)
+            runtime.insert_task(
+                "syrk", (hik, AccessMode.READ), (hii, AccessMode.READWRITE),
+                body=make_syrk_body(i, k, wp, hik.uid),
+                flops=syrk_flops(nbi, kbk),
+                precision=wp, tag=(i, i, k),
+                tile_deps=(dep(i, k), dep(i, i)),
+            )
+            _accumulate(result, "syrk", wp, syrk_flops(nbi, kbk))
+            for j in range(k + 1, i):
+                hjk = handles[(j, k)]
+                hij = handles[(i, j)]
+                p_ij = tile_precision(i, j)
+                mb, nb = layout.tile_shape(i, j)
+                qexpect(hik.uid, p_ij)
+                qexpect(hjk.uid, p_ij)
+                runtime.insert_task(
+                    "gemm", (hik, AccessMode.READ), (hjk, AccessMode.READ),
+                    (hij, AccessMode.READWRITE),
+                    body=make_gemm_body(i, j, k, p_ij, hik.uid, hjk.uid),
+                    flops=gemm_flops(mb, nb, kbk),
+                    precision=p_ij, tag=(i, j, k),
+                    tile_deps=(dep(i, k), dep(j, k), dep(i, j)),
+                )
+                _accumulate(result, "gemm", p_ij, gemm_flops(mb, nb, kbk))
+
+    try:
+        schedule = runtime.run(phase=phase)
+    finally:
+        runtime.release(ns)
+    result.schedule = schedule

@@ -68,13 +68,26 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
         i: runtime.register_data(f"{ns}x({i})", payload=x[i])
         for i in range(nt)
     }
+    binding = factor._binding
+    if binding is not None:
+        try:
+            runtime.attach_store(factor.store)
+        except RuntimeError:
+            pass  # foreign hooks: pinning skipped, reloads stay bitwise
 
-    # Closures capture factor *tiles* (storage precision, no copy) and
-    # convert per execution — the same per-access ``to_float64()`` the
-    # in-line loop performs, without staging the whole factor in FP64.
-    def make_update(tile, transpose_tile: bool, transpose_op: bool):
+    def deps(*coords):
+        if binding is None:
+            return ()
+        return tuple((binding, key) for key in coords)
+
+    # Closures capture tile *coordinates* and read the factor per
+    # execution — the same per-access ``to_float64()`` the in-line loop
+    # performs, without staging the whole factor in FP64 and without
+    # keeping a store-backed factor's tiles alive in closures (spilled
+    # tiles fault in exactly when their task runs, pinned by tile_deps).
+    def make_update(coords, transpose_tile: bool, transpose_op: bool):
         def body(xj, acc):
-            lij = tile.to_float64()
+            lij = factor.get_tile(*coords).to_float64()
             if transpose_tile:
                 lij = lij.T
             if transpose_op:
@@ -83,9 +96,9 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
             return np.asarray(quantize(acc, precision), dtype=np.float64)
         return body
 
-    def make_diag_solve(tile, transpose: bool, lower_solve: bool):
+    def make_diag_solve(coords, transpose: bool, lower_solve: bool):
         def body(acc):
-            diag = tile.to_float64()
+            diag = factor.get_tile(*coords).to_float64()
             if transpose:
                 diag = diag.T
             out = scipy.linalg.solve_triangular(diag, acc, lower=lower_solve)
@@ -98,33 +111,36 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
         others = range(i) if forward else range(i + 1, nt)
         for j in others:
             if forward:
-                tile = factor.get_tile(i, j) if lower else factor.get_tile(j, i)
+                coords = (i, j) if lower else (j, i)
                 transpose_tile, transpose_op = (not lower), False
             else:
-                tile = factor.get_tile(j, i) if lower else factor.get_tile(i, j)
+                coords = (j, i) if lower else (i, j)
                 transpose_tile, transpose_op = (not lower), True
-            op_shape = tile.shape if not transpose_tile else tile.shape[::-1]
+            tile_shape = factor.layout.tile_shape(*coords)
+            op_shape = tile_shape if not transpose_tile else tile_shape[::-1]
             if transpose_op:
                 op_shape = op_shape[::-1]
             runtime.insert_task(
                 "solve_gemm",
                 (handles[j], AccessMode.READ),
                 (handles[i], AccessMode.READWRITE),
-                body=make_update(tile, transpose_tile, transpose_op),
+                body=make_update(coords, transpose_tile, transpose_op),
                 flops=gemm_flops(op_shape[0], width, op_shape[1]),
                 precision=precision, tag=(i, j),
+                tile_deps=deps(coords),
             )
-        lii = factor.get_tile(i, i)
+        diag_shape = factor.layout.tile_shape(i, i)
         if forward:
             transpose, lower_solve = (not lower), True
         else:
             transpose, lower_solve = lower, False
         runtime.insert_task(
             "solve_trsm", (handles[i], AccessMode.READWRITE),
-            body=make_diag_solve(lii, transpose, lower_solve),
-            flops=trsm_flops(lii.shape[0], width),
+            body=make_diag_solve((i, i), transpose, lower_solve),
+            flops=trsm_flops(diag_shape[0], width),
             precision=precision, priority=nt - i if forward else i + 1,
             tag=(i, i),
+            tile_deps=deps((i, i)),
         )
     try:
         runtime.run(phase=phase)

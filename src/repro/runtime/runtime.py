@@ -253,6 +253,7 @@ class Runtime:
         priority: int = 0,
         tag: Any = None,
         flops_detail: dict[Precision, float] | None = None,
+        tile_deps: tuple = (),
     ) -> Task:
         """Insert a task; dependencies derive from the access declarations.
 
@@ -260,6 +261,10 @@ class Runtime:
         the registry consistency assert that catches tasks smuggling in
         foreign (or released) handles, which would silently break the
         dependency derivation.
+
+        ``tile_deps`` declares the store-backed tiles the task touches
+        (``(binding, (i, j))`` pairs) so the scheduler's store hooks can
+        pin, unpin and prefetch them (see :mod:`repro.store`).
         """
         for handle, _ in accesses:
             if handle.uid not in self._handle_uids:
@@ -276,6 +281,7 @@ class Runtime:
             priority=priority,
             tag=tag,
             flops_detail=flops_detail,
+            tile_deps=tile_deps,
         )
 
     def run(self, phase: str | None = None) -> ScheduleResult:
@@ -301,6 +307,27 @@ class Runtime:
     @property
     def last_result(self) -> ScheduleResult | None:
         return self._last_result
+
+    # ------------------------------------------------------------------
+    # out-of-core store integration
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Wire a :class:`~repro.store.TileStore` into the executors.
+
+        Installs the store's scheduler hooks: tasks that declare
+        ``tile_deps`` get their tiles prefetched when they become
+        ready, pinned against eviction while they run, and released on
+        completion.  One store per runtime; attaching the same store
+        again is a no-op.
+        """
+        from repro.store import StoreSchedulerHooks
+
+        hooks = self.scheduler.hooks
+        if isinstance(hooks, StoreSchedulerHooks) and hooks.store is store:
+            return
+        if hooks is not None:
+            raise RuntimeError("this runtime already has scheduler hooks")
+        self.scheduler.hooks = StoreSchedulerHooks(store)
 
     # ------------------------------------------------------------------
     # phase accounting

@@ -24,6 +24,14 @@ executed.  Three execution modes share one dependency engine:
     time for inputs that last lived on another device.  Mapping policy
     is owner-computes (the PaRSEC default for tile algorithms) with an
     earliest-available fallback.
+
+The serial and threaded drains additionally expose per-task lifecycle
+**hooks** (``Scheduler.hooks``): ``task_ready`` when a task enters the
+ready set, ``task_dispatch`` just before its body runs, and
+``task_complete`` after it finishes (or fails).  The out-of-core tile
+store uses these to prefetch, pin and release a task's tiles
+(:class:`repro.store.StoreSchedulerHooks`); execution semantics are
+unchanged when no hooks are installed.
 """
 
 from __future__ import annotations
@@ -111,6 +119,11 @@ class Scheduler:
     workers:
         Worker threads of the threaded mode.  Capped at the task count
         per run; 1 falls back to the serial drain (no threads spawned).
+    hooks:
+        Optional task-lifecycle observer with ``task_ready`` /
+        ``task_dispatch`` / ``task_complete`` methods (the serial and
+        threaded drains call them; the simulated mode does not).  Used
+        by the out-of-core store to pin/prefetch task tiles.
     """
 
     devices: list[Device] = field(default_factory=lambda: make_devices(1))
@@ -119,6 +132,7 @@ class Scheduler:
     owner_computes: bool = True
     execution: str = "simulated"
     workers: int = 1
+    hooks: object | None = None
 
     def __post_init__(self) -> None:
         if self.execution not in EXECUTION_MODES:
@@ -144,15 +158,25 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _run_serial(self, graph: TaskGraph) -> ScheduleResult:
         indegree, order_index, ready = _ready_heap(graph)
+        hooks = self.hooks
+        if hooks is not None:
+            for _, _, task in ready:
+                hooks.task_ready(task)
         trace = ExecutionTrace()
         worker = make_devices(1, HOST_WORKER)
         t0 = time.perf_counter()
         executed = 0
         while ready:
             _, _, task = heapq.heappop(ready)
+            if hooks is not None:
+                hooks.task_dispatch(task)
             start = time.perf_counter() - t0
-            if self.execute_bodies:
-                task.execute()
+            try:
+                if self.execute_bodies:
+                    task.execute()
+            finally:
+                if hooks is not None:
+                    hooks.task_complete(task)
             end = time.perf_counter() - t0
             executed += 1
             trace.add(TaskEvent(
@@ -168,6 +192,8 @@ class Scheduler:
                 if indegree[succ] == 0:
                     heapq.heappush(
                         ready, (-succ.priority, order_index[succ], succ))
+                    if hooks is not None:
+                        hooks.task_ready(succ)
         if executed != graph.num_tasks:
             raise SchedulerError(
                 f"schedule executed {executed} of {graph.num_tasks} tasks "
@@ -182,6 +208,10 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _run_threaded(self, graph: TaskGraph) -> ScheduleResult:
         indegree, order_index, ready = _ready_heap(graph)
+        hooks = self.hooks
+        if hooks is not None:
+            for _, _, task in ready:
+                hooks.task_ready(task)
         num_workers = min(self.workers, max(1, graph.num_tasks))
         workers = make_devices(num_workers, HOST_WORKER)
         trace = ExecutionTrace()
@@ -209,16 +239,24 @@ class Scheduler:
                         return
                     _, _, task = heapq.heappop(ready)
                     state["in_flight"] += 1
+                # pinning happens outside the scheduler lock: the store
+                # takes its own lock and never waits on this one
+                if hooks is not None:
+                    hooks.task_dispatch(task)
                 start = time.perf_counter() - t0
                 try:
                     if self.execute_bodies:
                         task.execute()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if hooks is not None:
+                        hooks.task_complete(task)
                     with cond:
                         failures.append(exc)
                         state["in_flight"] -= 1
                         cond.notify_all()
                     return
+                if hooks is not None:
+                    hooks.task_complete(task)
                 end = time.perf_counter() - t0
                 with cond:
                     state["executed"] += 1
@@ -237,6 +275,8 @@ class Scheduler:
                             heapq.heappush(
                                 ready,
                                 (-succ.priority, order_index[succ], succ))
+                            if hooks is not None:
+                                hooks.task_ready(succ)
                     cond.notify_all()
 
         threads = [

@@ -108,6 +108,13 @@ class Task:
         mixing the INT8 SNP Gram with the FP32 confounder Gram).  When
         given, trace-level precision accounting uses this split instead
         of attributing everything to ``precision``.
+    tile_deps:
+        Tiles of store-backed matrices this task touches, declared as
+        ``(binding, (i, j))`` pairs.  The scheduler's store hooks pin
+        them at dispatch (no eviction under an in-flight task), release
+        them on completion, and hand them to the prefetch reader when
+        the task becomes ready.  Empty for tasks that only operate on
+        handle payloads.
     """
 
     name: str
@@ -118,6 +125,7 @@ class Task:
     priority: int = 0
     tag: Any = None
     flops_detail: dict[Precision, float] | None = None
+    tile_deps: tuple = ()
     uid: int = field(default_factory=lambda: next(_task_counter))
 
     def __post_init__(self) -> None:

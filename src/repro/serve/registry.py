@@ -62,6 +62,10 @@ class ModelRegistry:
         self._next_version: dict[str, int] = {}
         self._use_counter = 0
         self.evictions = 0
+        # running sum of entry resident_bytes: eviction and the
+        # resident_bytes() accessor are O(1) per step instead of
+        # re-summing every entry on every loop iteration
+        self._resident_total = 0
 
     # ------------------------------------------------------------------
     def register(self, name: str, model: FittedModel) -> ModelKey:
@@ -79,12 +83,31 @@ class ModelRegistry:
             self._next_version[name] = version
             key = ModelKey(name=name, version=version)
             self._use_counter += 1
-            self._entries[key] = RegisteredModel(
+            # store-backed models fault factor tiles in (and out) after
+            # registration, so the budget is enforced against *current*
+            # residency: one O(n) refresh per register, never the
+            # historical O(n) re-sum per eviction iteration
+            self._refresh_resident_bytes()
+            entry = RegisteredModel(
                 key=key, model=model,
                 resident_bytes=model.resident_bytes(),
                 last_used=self._use_counter)
+            self._entries[key] = entry
+            self._resident_total += entry.resident_bytes
             self._evict_over_budget(protect=key)
             return key
+
+    def _refresh_resident_bytes(self) -> None:
+        """Re-poll every entry's resident bytes (caller holds the lock).
+
+        Plain models report a constant; store-backed models report what
+        their factor has actually faulted in since the last look.
+        """
+        total = 0
+        for entry in self._entries.values():
+            entry.resident_bytes = entry.model.resident_bytes()
+            total += entry.resident_bytes
+        self._resident_total = total
 
     def get(self, name: str, version: int | None = None) -> FittedModel:
         """Look up a model (latest version by default); bumps recency."""
@@ -126,20 +149,27 @@ class ModelRegistry:
                 if not keys:
                     raise KeyError(f"no model registered under {name!r}")
             for k in keys:
+                self._resident_total -= self._entries[k].resident_bytes
                 del self._entries[k]
             return len(keys)
 
     def _evict_over_budget(self, protect: ModelKey) -> None:
-        """Evict LRU entries until within budget (caller holds the lock)."""
+        """Evict LRU entries until within budget (caller holds the lock).
+
+        The running ``_resident_total`` makes each iteration O(n) in
+        the victim scan only — the historical per-iteration re-sum made
+        heavy churn O(n²).
+        """
         if self.max_resident_bytes is None:
             return
-        while (sum(e.resident_bytes for e in self._entries.values())
-               > self.max_resident_bytes and len(self._entries) > 1):
+        while (self._resident_total > self.max_resident_bytes
+               and len(self._entries) > 1):
             victim = min(
                 (e for e in self._entries.values() if e.key != protect),
                 key=lambda e: e.last_used, default=None)
             if victim is None:
                 return
+            self._resident_total -= victim.resident_bytes
             del self._entries[victim.key]
             self.evictions += 1
 
@@ -148,7 +178,7 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def resident_bytes(self) -> int:
         with self._lock:
-            return sum(e.resident_bytes for e in self._entries.values())
+            return self._resident_total
 
     def keys(self) -> list[ModelKey]:
         """Registered ``(name, version)`` keys, registration order."""
@@ -177,5 +207,4 @@ class ModelRegistry:
             budget = (f", budget={self.max_resident_bytes}"
                       if self.max_resident_bytes is not None else "")
             return (f"ModelRegistry({len(self._entries)} models, "
-                    f"{sum(e.resident_bytes for e in self._entries.values())}"
-                    f" resident bytes{budget})")
+                    f"{self._resident_total} resident bytes{budget})")

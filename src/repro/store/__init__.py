@@ -1,0 +1,43 @@
+"""repro.store — out-of-core tile storage with budgeted residency.
+
+The paper's 305k-patient runs work because the kernel matrix is a
+precision-adapted tile mosaic — and past a point the *mosaic itself*
+no longer fits in memory.  This package breaks that ceiling:
+
+* :class:`TileStore` backs any :class:`~repro.tiles.matrix.TileMatrix`
+  with native-precision spill segments on disk (bitwise round-trips);
+* :class:`~repro.store.stats.ResidencyManager` enforces a byte budget
+  with precision-aware LRU eviction and pin/unpin refcounts;
+* :class:`StoreSchedulerHooks` wires the task runtime in: input tiles
+  are prefetched when a task becomes ready, pinned while it runs, and
+  released on completion;
+* :class:`~repro.store.stats.StoreStats` reports spills/reloads and the
+  peak resident bytes the out-of-core contract is asserted against.
+
+Attach via ``TileMatrix.attach_store`` or, end to end, through
+``KRRConfig(store_budget_bytes=..., store_dir=...)`` / the
+``REPRO_STORE_BUDGET`` environment variable.
+"""
+
+from repro.store.hooks import StoreSchedulerHooks
+from repro.store.stats import ResidencyManager, StoreStats
+from repro.store.store import (
+    STORE_BUDGET_ENV,
+    STORE_DIR_ENV,
+    StoreBinding,
+    TileStore,
+    parse_bytes,
+    resolve_store_budget,
+)
+
+__all__ = [
+    "TileStore",
+    "StoreBinding",
+    "ResidencyManager",
+    "StoreStats",
+    "StoreSchedulerHooks",
+    "STORE_BUDGET_ENV",
+    "STORE_DIR_ENV",
+    "parse_bytes",
+    "resolve_store_budget",
+]

@@ -1,0 +1,57 @@
+"""Scheduler ↔ store integration: pinning and prefetch.
+
+The out-of-order executors (:class:`~repro.runtime.scheduler.Scheduler`)
+expose three lifecycle hooks per task; ``StoreSchedulerHooks`` maps them
+onto the store's residency protocol:
+
+``task_ready``
+    The task's dependencies have resolved and it entered the ready
+    heap.  Its declared input/output tiles (``Task.tile_deps``) are
+    handed to the background reader, which faults spilled tiles in
+    ahead of dispatch — but only when they fit the budget without
+    evicting anything (prefetch never steals the working set).
+
+``task_dispatch``
+    A worker picked the task.  Its tiles are **pinned**: eviction will
+    not select them while the task runs, so an in-flight task can never
+    have a tile evicted under it.  Pinning at dispatch (rather than at
+    ready) keeps the pinned set bounded by the worker count — with a
+    wide trailing update, hundreds of GEMMs may be ready at once, and
+    pinning all of their tiles would wedge the budget.
+
+``task_complete``
+    The pins are released (also on task failure); the tiles become
+    ordinary LRU citizens again.
+
+Correctness never depends on these hooks: a task that reads an evicted
+tile faults it back in bitwise.  The hooks exist to keep the working
+set resident (pins) and to hide reload latency (prefetch).
+"""
+
+from __future__ import annotations
+
+from repro.store.store import TileStore
+
+__all__ = ["StoreSchedulerHooks"]
+
+
+class StoreSchedulerHooks:
+    """Bridge from scheduler task lifecycle events to a ``TileStore``."""
+
+    def __init__(self, store: TileStore) -> None:
+        self.store = store
+
+    def task_ready(self, task) -> None:
+        deps = getattr(task, "tile_deps", ())
+        if deps:
+            self.store.prefetch(deps)
+
+    def task_dispatch(self, task) -> None:
+        deps = getattr(task, "tile_deps", ())
+        if deps:
+            self.store.pin(deps)
+
+    def task_complete(self, task) -> None:
+        deps = getattr(task, "tile_deps", ())
+        if deps:
+            self.store.unpin(deps)

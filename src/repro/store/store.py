@@ -1,0 +1,757 @@
+"""Out-of-core tile store: budgeted residency with spill/reload.
+
+``TileStore`` backs :class:`~repro.tiles.matrix.TileMatrix` objects with
+**spill segments** on disk: when the resident tile bytes of all bound
+matrices exceed ``budget_bytes``, least-recently-used unpinned tiles are
+encoded to their *native storage precision* bytes (the same fp64/32/16,
+bf16 and 1-byte FP8 codecs the fitted-model artifacts use, see
+:mod:`repro.tiles.serialize`) and written to a memory-mapped segment
+file; a later access faults the tile back in bit for bit.  Because tile
+payloads are always quantized to their precision's value grid, the
+spill round-trip is **exact** — an out-of-core run produces bitwise the
+same results as a fully-resident one, for any budget.
+
+Layout on disk: one append-mostly segment file per bound matrix plus an
+in-memory offset index ``{(i, j): slot}``.  A re-spill of a tile whose
+encoded size is unchanged overwrites its slot in place (the common
+spill/reload/spill cycle does not grow the file); slots shared between
+matrices (``shallow_copy``) are immutable and superseded by appends.
+
+Concurrency contract (the part that makes threaded DAG execution safe):
+
+* every grid mutation of a store-backed matrix — fault-in, ``set_tile``,
+  eviction — happens under the **store lock**, then the matrix grid
+  lock (always in that order);
+* eviction never selects a tile pinned by an in-flight task
+  (:class:`~repro.store.stats.ResidencyManager` refcounts pins);
+* readers that race an eviction simply fault the tile back in — the
+  reload is bitwise, so correctness never depends on pin timing; pins
+  exist to keep the working set resident, not to guard values.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.precision.formats import Precision
+from repro.store.stats import ResidencyManager, StoreStats
+from repro.tiles.serialize import decode_payload, encode_payload
+from repro.tiles.tile import Tile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tiles.matrix import TileMatrix
+
+__all__ = [
+    "TileStore",
+    "StoreBinding",
+    "TileDep",
+    "STORE_BUDGET_ENV",
+    "STORE_DIR_ENV",
+    "resolve_store_budget",
+]
+
+#: Environment override of the residency budget (bytes; ``k``/``m``/``g``
+#: suffixes accepted).  CI's tier-1 store variant sets this to force the
+#: whole suite through the spill/reload paths.
+STORE_BUDGET_ENV = "REPRO_STORE_BUDGET"
+#: Optional environment override of the spill directory.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+#: A task's declared tile dependency: ``(binding, (i, j))``.
+TileDep = tuple["StoreBinding", tuple[int, int]]
+
+
+def parse_bytes(text: str) -> int:
+    """Parse ``"1048576"`` / ``"64m"`` / ``"2G"`` into a byte count."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty byte size")
+    scale = 1
+    if text[-1] in _SUFFIXES:
+        scale = _SUFFIXES[text[-1]]
+        text = text[:-1]
+    return int(float(text) * scale)
+
+
+def resolve_store_budget(budget: int | None = None) -> int | None:
+    """Resolve a store budget: explicit value, else ``REPRO_STORE_BUDGET``.
+
+    Returns ``None`` when neither is set (no store is created).
+    """
+    if budget is not None:
+        return int(budget)
+    env = os.environ.get(STORE_BUDGET_ENV)
+    if env:
+        return parse_bytes(env)
+    return None
+
+
+# ----------------------------------------------------------------------
+# segment files
+# ----------------------------------------------------------------------
+class _Segment:
+    """One spill file: append-mostly writes, memory-mapped reads."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._file = None
+        self._mmap: np.memmap | None = None
+        self.size = 0
+
+    def _ensure_file(self):
+        if self._file is None:
+            self._file = open(self.path, "w+b")
+        return self._file
+
+    def write(self, data: bytes, offset: int | None = None) -> int:
+        """Write ``data`` (at ``offset``, or appended); returns its offset."""
+        f = self._ensure_file()
+        if offset is None:
+            offset = self.size
+            self.size += len(data)
+        f.seek(offset)
+        f.write(data)
+        f.flush()
+        return offset
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read a slot through the (lazily refreshed) memory map."""
+        if self._file is not None:
+            self._file.flush()
+        if self._mmap is None or self._mmap.shape[0] < offset + length:
+            self._mmap = np.memmap(self.path, dtype=np.uint8, mode="r")
+        return bytes(self._mmap[offset:offset + length])
+
+    def close(self) -> None:
+        self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+@dataclass
+class _Slot:
+    """Index record of one spilled tile in a segment."""
+
+    segment: _Segment
+    offset: int
+    length: int
+    dtype: str
+    shape: tuple[int, ...]
+    precision: Precision
+    #: Bindings referencing this slot; in-place overwrite requires 1.
+    owners: int = 1
+
+
+# ----------------------------------------------------------------------
+# per-matrix binding
+# ----------------------------------------------------------------------
+class StoreBinding:
+    """The store-side state of one bound :class:`TileMatrix`.
+
+    Holds the spill index and performs the fault/spill/set moves for
+    its matrix.  All entry points take the store lock, then (where grid
+    mutation is needed) the matrix grid lock — the single lock order of
+    the subsystem.
+    """
+
+    def __init__(self, store: "TileStore", bid: int,
+                 matrix: "TileMatrix") -> None:
+        self.store = store
+        self.bid = bid
+        self.matrix = weakref.ref(matrix)
+        self.index: dict[tuple[int, int], _Slot] = {}
+        #: Keys whose resident payload is bit-identical to their slot
+        #: (eviction of a clean tile is a free drop, no write).
+        self.clean: set[tuple[int, int]] = set()
+        self._segment: _Segment | None = None
+
+    # -- segment helpers ------------------------------------------------
+    def _own_segment(self) -> _Segment:
+        if self._segment is None:
+            self._segment = self.store._new_segment(self.bid)
+        return self._segment
+
+    def _write_slot(self, key: tuple[int, int], raw: np.ndarray,
+                    precision: Precision) -> _Slot:
+        data = raw.tobytes()
+        old = self.index.get(key)
+        offset = None
+        segment = self._own_segment()
+        if (old is not None and old.owners == 1
+                and old.segment is segment and old.length == len(data)):
+            offset = old.offset  # in-place reuse: no file growth
+        elif old is not None:
+            old.owners -= 1
+        offset = segment.write(data, offset)
+        slot = _Slot(segment=segment, offset=offset, length=len(data),
+                     dtype=raw.dtype.str, shape=tuple(raw.shape),
+                     precision=precision)
+        self.index[key] = slot
+        return slot
+
+    def _read_slot(self, slot: _Slot) -> np.ndarray:
+        buf = slot.segment.read(slot.offset, slot.length)
+        return np.frombuffer(buf, dtype=slot.dtype).reshape(slot.shape)
+
+    def note_use(self, key: tuple[int, int]) -> None:
+        """Recency bump for a resident read (lock-free, see stats.py)."""
+        self.store.residency.note_use((self.bid, key))
+
+    # -- fault-in -------------------------------------------------------
+    def load(self, key: tuple[int, int],
+             materialize_zeros: bool = True) -> Tile | None:
+        """Return tile ``key``, faulting it in from its slot if spilled.
+
+        Unwritten tiles materialize as zeros (matching the plain
+        :class:`TileMatrix` semantics) unless ``materialize_zeros`` is
+        False, in which case ``None`` is returned.
+        """
+        store = self.store
+        with store._lock:
+            return self._load_locked(key, materialize_zeros)
+
+    def _load_locked(self, key: tuple[int, int],
+                     materialize_zeros: bool) -> Tile | None:
+        store = self.store
+        m = self.matrix()
+        if m is None:
+            return None
+        with m._grid_lock:
+            tile = m._tiles.get(key)
+        if tile is not None:
+            store.residency.touch((self.bid, key))
+            return tile
+        slot = self.index.get(key)
+        stats = store.residency.stats
+        if slot is None:
+            if not materialize_zeros:
+                return None
+            shape = m.layout.tile_shape(*key)
+            tile = Tile(np.zeros(shape), precision=m.default_precision,
+                        coords=key)
+        else:
+            payload = decode_payload(self._read_slot(slot), slot.precision)
+            tile = Tile(payload, precision=slot.precision, coords=key)
+            stats.reloads += 1
+            stats.bytes_reloaded += slot.length
+        store._evict_to_fit(tile.nbytes, exclude=(self.bid, key))
+        with m._grid_lock:
+            m._tiles[key] = tile
+        store.residency.add((self.bid, key), tile.nbytes)
+        if slot is not None:
+            self.clean.add(key)  # resident bits == slot bits
+        else:
+            self.clean.discard(key)
+        return tile
+
+    # -- writes ---------------------------------------------------------
+    def set(self, key: tuple[int, int], payload: np.ndarray,
+            precision: Precision | None) -> None:
+        """Store-side ``set_tile``: replace the tile under the store lock."""
+        store = self.store
+        with store._lock:
+            m = self.matrix()
+            if m is None:
+                return
+            if precision is None:
+                with m._grid_lock:
+                    cur = m._tiles.get(key)
+                if cur is not None:
+                    precision = cur.precision
+                else:
+                    slot = self.index.get(key)
+                    precision = (slot.precision if slot is not None
+                                 else m.default_precision)
+            tile = Tile(payload, precision=precision, coords=key)
+            self.clean.discard(key)  # any existing slot is now stale
+            store._evict_to_fit(tile.nbytes, exclude=(self.bid, key))
+            with m._grid_lock:
+                m._tiles[key] = tile
+            store.residency.add((self.bid, key), tile.nbytes)
+
+    def adopt(self, key: tuple[int, int], raw: np.ndarray,
+              precision: Precision) -> None:
+        """Register an already-encoded tile as *spilled* (not resident).
+
+        This is how store-backed artifact loading streams an ``.npz``
+        straight onto disk: each tile's native bytes go to the segment
+        and fault in lazily, so opening a model costs near-zero
+        resident tile bytes.
+        """
+        with self.store._lock:
+            m = self.matrix()
+            if m is not None:
+                with m._grid_lock:
+                    resident = key in m._tiles
+                if resident:
+                    raise RuntimeError(
+                        f"tile {key} is already resident; adopt() is for "
+                        "spill-only registration")
+            self._write_slot(key, np.ascontiguousarray(raw), precision)
+            self.clean.discard(key)
+
+    # -- introspection --------------------------------------------------
+    def has_data(self, key: tuple[int, int]) -> bool:
+        with self.store._lock:
+            m = self.matrix()
+            if m is not None:
+                with m._grid_lock:
+                    if key in m._tiles:
+                        return True
+            return key in self.index
+
+    def data_keys(self) -> set[tuple[int, int]]:
+        """Keys holding data (resident or spilled)."""
+        with self.store._lock:
+            m = self.matrix()
+            keys = set(self.index)
+            if m is not None:
+                with m._grid_lock:
+                    keys.update(m._tiles)
+            return keys
+
+    def tile_precision(self, key: tuple[int, int]) -> Precision | None:
+        with self.store._lock:
+            m = self.matrix()
+            if m is not None:
+                with m._grid_lock:
+                    tile = m._tiles.get(key)
+                if tile is not None:
+                    return tile.precision
+            slot = self.index.get(key)
+            return slot.precision if slot is not None else None
+
+    def logical_nbytes(self) -> int:
+        """Storage footprint of all tiles, resident *or* spilled."""
+        with self.store._lock:
+            m = self.matrix()
+            tiles = {}
+            if m is not None:
+                with m._grid_lock:
+                    tiles = dict(m._tiles)
+            total = sum(t.nbytes for t in tiles.values())
+            total += sum(slot.length for key, slot in self.index.items()
+                         if key not in tiles)
+            return total
+
+    def resident_nbytes(self) -> int:
+        """Bytes actually resident for this matrix (what a budget sees)."""
+        with self.store._lock:
+            m = self.matrix()
+            if m is None:
+                return 0
+            with m._grid_lock:
+                return sum(t.nbytes for t in m._tiles.values())
+
+    def footprint_by_precision(self) -> dict[Precision, int]:
+        with self.store._lock:
+            m = self.matrix()
+            tiles = {}
+            if m is not None:
+                with m._grid_lock:
+                    tiles = dict(m._tiles)
+            out: dict[Precision, int] = {}
+            for t in tiles.values():
+                out[t.precision] = out.get(t.precision, 0) + t.nbytes
+            for key, slot in self.index.items():
+                if key not in tiles:
+                    out[slot.precision] = out.get(slot.precision, 0) + slot.length
+            return out
+
+    # -- lifecycle ------------------------------------------------------
+    def detach(self) -> None:
+        """Fault every spilled tile in and unbind from the store.
+
+        Residency becomes unmanaged (and unbounded) afterwards — this
+        is the escape hatch back to a fully-resident matrix.
+        """
+        store = self.store
+        with store._lock:
+            m = self.matrix()
+            if m is not None:
+                for key in list(self.index):
+                    with m._grid_lock:
+                        resident = key in m._tiles
+                    if not resident:
+                        slot = self.index[key]
+                        payload = decode_payload(self._read_slot(slot),
+                                                 slot.precision)
+                        with m._grid_lock:
+                            m._tiles[key] = Tile(payload,
+                                                 precision=slot.precision,
+                                                 coords=key)
+                m._binding = None
+            store._drop_binding(self.bid)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class TileStore:
+    """Budgeted out-of-core backing store for tile matrices.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files live.  ``None`` creates a private temporary
+        directory that is removed when the store is closed or garbage
+        collected; an explicit directory is left in place (only the
+        ``seg-*.bin`` files are removed on close).
+    budget_bytes:
+        Residency budget over all bound matrices (storage-precision
+        bytes).  ``None`` disables eviction — the store then only spills
+        on request (``adopt``) and for artifact-backed loads.
+    prefetch:
+        Enable the background reader that fault-ins upcoming tiles
+        announced by the scheduler hooks (see
+        :class:`~repro.store.hooks.StoreSchedulerHooks`).  Prefetch is
+        strictly best-effort: it never evicts to make room.
+    """
+
+    def __init__(self, directory: str | Path | None = None,
+                 budget_bytes: int | None = None,
+                 prefetch: bool = True) -> None:
+        self._lock = threading.RLock()
+        self.residency = ResidencyManager(budget_bytes)
+        if directory is None:
+            directory = os.environ.get(STORE_DIR_ENV) or None
+        self._owns_directory = directory is None
+        self.directory = Path(tempfile.mkdtemp(prefix="repro-store-")
+                              if directory is None else directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._bindings: dict[int, StoreBinding] = {}
+        self._next_bid = 0
+        self._segments: list[_Segment] = []
+        self._closed = False
+
+        self._prefetch_enabled = bool(prefetch)
+        self._queue: deque[TileDep] = deque()
+        self._queue_cv = threading.Condition()
+        self._stop = threading.Event()
+        self._reader: threading.Thread | None = None
+
+        # GC-time cleanup must not resurrect the store: capture only the
+        # state the janitor needs.
+        self._finalizer = weakref.finalize(
+            self, TileStore._janitor, self._segments, self.directory,
+            self._owns_directory, self._stop, self._queue_cv)
+
+    # ------------------------------------------------------------------
+    @property
+    def budget_bytes(self) -> int | None:
+        return self.residency.budget_bytes
+
+    @property
+    def stats(self) -> StoreStats:
+        """The live counters (use ``.snapshot()`` for a stable copy)."""
+        return self.residency.stats
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self.residency.stats.resident_bytes
+
+    # ------------------------------------------------------------------
+    # binding lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, matrix: "TileMatrix") -> StoreBinding:
+        """Bind ``matrix``: its tiles become budget-managed.
+
+        Already-resident tiles are accounted immediately (and may be
+        spilled right away if they exceed the budget).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("TileStore is closed")
+            bid = self._next_bid
+            self._next_bid += 1
+            binding = StoreBinding(self, bid, matrix)
+            self._bindings[bid] = binding
+            with matrix._grid_lock:
+                tiles = dict(matrix._tiles)
+            for key, tile in tiles.items():
+                self.residency.add((bid, key), tile.nbytes)
+            weakref.finalize(matrix, self._purge_binding, bid)
+            self._evict_to_fit(0)
+            return binding
+
+    def clone_binding(self, source: "TileMatrix",
+                      target: "TileMatrix") -> StoreBinding:
+        """Bind ``target`` as a shallow copy of ``source``'s binding.
+
+        The resident tile grid is copied atomically (sharing the tile
+        objects — copy-on-write at tile granularity, exactly like
+        :meth:`TileMatrix.shallow_copy`), and spill slots are shared
+        read-only; a later re-spill from either matrix appends a fresh
+        slot.  Shared tiles are accounted once per binding, so the
+        budget view is conservative.
+        """
+        src_binding = source._binding
+        if src_binding is None or src_binding.store is not self:
+            raise ValueError("source matrix is not bound to this store")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("TileStore is closed")
+            bid = self._next_bid
+            self._next_bid += 1
+            binding = StoreBinding(self, bid, target)
+            with source._grid_lock:
+                tiles = dict(source._tiles)
+            target._tiles = dict(tiles)
+            for slot in src_binding.index.values():
+                slot.owners += 1
+            binding.index = dict(src_binding.index)
+            binding.clean = set(src_binding.clean)
+            self._bindings[bid] = binding
+            # Account shared tiles one at a time, evicting to fit before
+            # each: a shallow copy allocates no new payloads, so the
+            # accounted peak must not spike by the duplicated bytes —
+            # instead the LRU (typically the source's copies) spills
+            # until the duplicated residency fits the budget.
+            for key, tile in tiles.items():
+                self._evict_to_fit(tile.nbytes, exclude=(bid, key))
+                self.residency.add((bid, key), tile.nbytes)
+            weakref.finalize(target, self._purge_binding, bid)
+            return binding
+
+    def _drop_binding(self, bid: int) -> None:
+        """Forget a binding (caller holds the lock or is single-owner)."""
+        binding = self._bindings.pop(bid, None)
+        if binding is not None:
+            for slot in binding.index.values():
+                slot.owners -= 1
+            self.residency.remove_binding(bid)
+
+    def _purge_binding(self, bid: int) -> None:
+        """GC callback: a bound matrix died; drop its store state."""
+        with self._lock:
+            self._drop_binding(bid)
+
+    def _new_segment(self, bid: int) -> _Segment:
+        segment = _Segment(self.directory / f"seg-{bid:05d}.bin")
+        self._segments.append(segment)
+        return segment
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _evict_to_fit(self, incoming: int,
+                      exclude: tuple[int, tuple[int, int]] | None = None
+                      ) -> None:
+        """Evict LRU unpinned tiles until ``incoming`` bytes fit.
+
+        Called under the store lock, *before* the incoming tile enters
+        the grid — which is what keeps the accounted peak residency
+        under the budget whenever the pinned working set fits.
+        """
+        victims = self.residency.victims_to_fit(incoming, exclude)
+        if victims is None:
+            return
+        for victim in victims:
+            self._evict_one(victim)
+
+    def _evict_one(self, entry: tuple[int, tuple[int, int]]) -> None:
+        bid, key = entry
+        binding = self._bindings.get(bid)
+        if binding is None:
+            self.residency.remove(entry)
+            return
+        m = binding.matrix()
+        if m is None:
+            self.residency.remove(entry)
+            return
+        with m._grid_lock:
+            tile = m._tiles.get(key)
+        if tile is None:
+            self.residency.remove(entry)
+            return
+        stats = self.residency.stats
+        slot = binding.index.get(key)
+        if key in binding.clean and slot is not None:
+            stats.drops += 1
+        else:
+            raw = encode_payload(tile.data, tile.precision)
+            slot = binding._write_slot(key, raw, tile.precision)
+            stats.spills += 1
+            stats.bytes_spilled += slot.length
+        with m._grid_lock:
+            # all grid writes of store-backed matrices hold the store
+            # lock, so the tile cannot have been replaced — defensive
+            if m._tiles.get(key) is tile:
+                del m._tiles[key]
+        binding.clean.discard(key)
+        self.residency.remove(entry)
+
+    def spill_all(self) -> None:
+        """Spill every evictable (unpinned) resident tile.
+
+        Mostly a test/debugging aid: forces the maximal out-of-core
+        state so reload paths can be exercised deterministically.
+        """
+        with self._lock:
+            for entry in list(self.residency.entries()):
+                if not self.residency.pinned(entry):
+                    self._evict_one(entry)
+
+    # ------------------------------------------------------------------
+    # scheduler integration: pins and prefetch
+    # ------------------------------------------------------------------
+    def pin(self, deps: Iterable[TileDep]) -> None:
+        """Pin tiles against eviction while a task is in flight."""
+        with self._lock:
+            for binding, key in deps:
+                if binding.store is self:
+                    self.residency.pin((binding.bid, key))
+
+    def unpin(self, deps: Iterable[TileDep]) -> None:
+        with self._lock:
+            for binding, key in deps:
+                if binding.store is self:
+                    self.residency.unpin((binding.bid, key))
+
+    def prefetch(self, deps: Iterable[TileDep]) -> None:
+        """Queue tiles for the background reader (best-effort)."""
+        if not self._prefetch_enabled or self._closed:
+            return
+        deps = [d for d in deps if d[0].store is self]
+        if not deps:
+            return
+        with self._queue_cv:
+            self._queue.extend(deps)
+            if self._reader is None:
+                self._reader = threading.Thread(
+                    target=_reader_loop,
+                    args=(weakref.ref(self), self._queue, self._queue_cv,
+                          self._stop),
+                    name="repro-store-reader", daemon=True)
+                self._reader.start()
+            self._queue_cv.notify()
+
+    def _prefetch_one(self, dep: TileDep) -> None:
+        """Fault one queued tile in ahead of demand.
+
+        The segment read and payload decode run *outside* the store
+        lock — prefetch exists to hide reload latency, so it must not
+        stall concurrent fault-ins/writes/evictions for the I/O's
+        duration.  The result is installed only after re-validating
+        under the lock that the slot is still current (same ``_Slot``
+        object: an in-place re-spill replaces it, so a torn concurrent
+        read can never be installed), the tile is still absent, and it
+        fits the budget without evicting anything.
+        """
+        binding, key = dep
+        with self._lock:
+            if self._closed or binding.bid not in self._bindings:
+                return
+            m = binding.matrix()
+            if m is None:
+                return
+            with m._grid_lock:
+                if key in m._tiles:
+                    return  # already resident
+            slot = binding.index.get(key)
+            if slot is None or not self.residency.would_fit(slot.length):
+                return
+        # I/O + decode with the lock released
+        payload = decode_payload(binding._read_slot(slot), slot.precision)
+        tile = Tile(payload, precision=slot.precision, coords=key)
+        with self._lock:
+            if self._closed or binding.bid not in self._bindings:
+                return
+            if binding.index.get(key) is not slot:
+                return  # superseded while we read: discard
+            m = binding.matrix()
+            if m is None:
+                return
+            with m._grid_lock:
+                if key in m._tiles:
+                    return
+            if not self.residency.would_fit(tile.nbytes):
+                return  # prefetch never evicts the working set
+            with m._grid_lock:
+                m._tiles[key] = tile
+            self.residency.add((binding.bid, key), tile.nbytes)
+            binding.clean.add(key)
+            stats = self.residency.stats
+            stats.reloads += 1
+            stats.bytes_reloaded += slot.length
+            stats.prefetches += 1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the reader and delete segment files.
+
+        Spilled tiles become unreadable — close only once every bound
+        matrix is either detached or no longer needed.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._finalizer.detach()
+        TileStore._janitor(self._segments, self.directory,
+                           self._owns_directory, self._stop, self._queue_cv)
+
+    @staticmethod
+    def _janitor(segments: list[_Segment], directory: Path,
+                 owns_directory: bool, stop: threading.Event,
+                 queue_cv: threading.Condition) -> None:
+        stop.set()
+        with queue_cv:
+            queue_cv.notify_all()
+        for segment in segments:
+            segment.close()
+            try:
+                segment.path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        if owns_directory:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def __enter__(self) -> "TileStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        budget = s.budget_bytes if s.budget_bytes is not None else "unbounded"
+        return (f"TileStore({len(self._bindings)} matrices, "
+                f"resident={s.resident_bytes}/{budget} B, "
+                f"spills={s.spills}, reloads={s.reloads})")
+
+
+def _reader_loop(store_ref, queue: deque, cv: threading.Condition,
+                 stop: threading.Event) -> None:
+    """Background prefetch reader (holds only a weakref to the store)."""
+    while True:
+        with cv:
+            while not queue and not stop.is_set():
+                cv.wait(timeout=1.0)
+                if store_ref() is None:
+                    return
+            if stop.is_set():
+                return
+            dep = queue.popleft()
+        store = store_ref()
+        if store is None:
+            return
+        try:
+            store._prefetch_one(dep)
+        except Exception:  # pragma: no cover - prefetch is best-effort
+            pass

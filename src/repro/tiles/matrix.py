@@ -7,8 +7,13 @@ panels are all held as tile grids.  The container supports
 * construction from / conversion to dense NumPy arrays,
 * a per-tile precision map (the "mosaic" of the adaptive rule),
 * symmetric storage (only the lower triangle held explicitly),
-* memory-footprint accounting per precision, and
-* per-tile access used by the tiled algorithms in ``repro.linalg``.
+* memory-footprint accounting per precision,
+* per-tile access used by the tiled algorithms in ``repro.linalg``, and
+* optional out-of-core backing (:meth:`TileMatrix.attach_store`): a
+  :class:`~repro.store.TileStore` spills least-recently-used tiles to
+  native-precision segment files under a residency budget, and tile
+  access transparently faults spilled tiles back in — bit for bit, so
+  a budgeted run computes exactly what a fully-resident run computes.
 """
 
 from __future__ import annotations
@@ -66,7 +71,54 @@ class TileMatrix:
         # concurrent task bodies (the threaded runtime) need the grid
         # dict to mutate atomically.  Payload arrays themselves are
         # never shared mutably — set_tile replaces tile objects.
+        # Store-backed matrices additionally take the store lock first
+        # (store lock -> grid lock is the subsystem's one lock order).
         self._grid_lock = threading.Lock()
+        # out-of-core backing (see attach_store); None = fully resident
+        self._binding = None
+
+    # ------------------------------------------------------------------
+    # out-of-core backing
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.TileStore`, or ``None``."""
+        return self._binding.store if self._binding is not None else None
+
+    def attach_store(self, store) -> "TileMatrix":
+        """Back this matrix with an out-of-core tile store.
+
+        Tiles become budget-managed: the store may spill
+        least-recently-used tiles to disk in their native storage
+        precision and :meth:`get_tile` faults them back in on access
+        (bitwise — spilled payloads are exact).  Attaching a matrix
+        that is already over the store's budget spills immediately.
+        """
+        if self._binding is not None:
+            if self._binding.store is store:
+                return self
+            raise RuntimeError(
+                "matrix is already attached to a different TileStore")
+        self._binding = store.bind(self)
+        return self
+
+    def detach_store(self) -> "TileMatrix":
+        """Fault every spilled tile in and return to plain residency."""
+        if self._binding is not None:
+            self._binding.detach()
+        return self
+
+    def has_tile_data(self, i: int, j: int) -> bool:
+        """True when tile ``(i, j)`` holds data (resident *or* spilled).
+
+        Tiles that were never written read as implicit zeros and report
+        False — the distinction serialization and the Frobenius norm
+        rely on to skip them.
+        """
+        key, _ = self._stored_key(i, j)
+        if key in self._tiles:
+            return True
+        return self._binding is not None and self._binding.has_data(key)
 
     # ------------------------------------------------------------------
     # construction
@@ -158,18 +210,32 @@ class TileMatrix:
         """Return tile ``(i, j)``.
 
         For symmetric matrices, upper-triangle reads return a transposed
-        *copy* of the stored lower tile.
+        *copy* of the stored lower tile.  On a store-backed matrix a
+        spilled tile faults back in from its segment file (evicting
+        other tiles as the budget requires) before being returned.
         """
         key, transpose = self._stored_key(i, j)
         tile = self._tiles.get(key)
-        if tile is None:
-            with self._grid_lock:
-                tile = self._tiles.get(key)
-                if tile is None:
-                    shape = self.layout.tile_shape(*key)
-                    tile = Tile(np.zeros(shape),
-                                precision=self.default_precision, coords=key)
-                    self._tiles[key] = tile
+        if tile is not None:
+            if self._binding is not None:
+                # lock-free recency bump: resident reads must count as
+                # "use", or a hot panel tile consumed by many trailing
+                # updates would age into the LRU victim
+                self._binding.note_use(key)
+        else:
+            if self._binding is not None:
+                # fault-in (or zero-materialization) under the store
+                # lock, so it cannot race an eviction of the same key
+                tile = self._binding.load(key)
+            else:
+                with self._grid_lock:
+                    tile = self._tiles.get(key)
+                    if tile is None:
+                        shape = self.layout.tile_shape(*key)
+                        tile = Tile(np.zeros(shape),
+                                    precision=self.default_precision,
+                                    coords=key)
+                        self._tiles[key] = tile
         if transpose:
             return Tile(tile.to_float64().T, precision=tile.precision, coords=(i, j))
         return tile
@@ -184,6 +250,17 @@ class TileMatrix:
             raise ValueError(
                 f"tile {key} expects shape {expected}, got {payload.shape}"
             )
+        if self._binding is not None:
+            # the store resolves the default precision (a spilled tile's
+            # precision lives in its slot), enforces the budget and
+            # mutates the grid under the store lock
+            self._binding.set(
+                key,
+                payload,
+                Precision.from_string(precision) if precision is not None
+                else None,
+            )
+            return
         with self._grid_lock:
             p = Precision.from_string(precision) if precision is not None else (
                 self._tiles[key].precision if key in self._tiles
@@ -194,15 +271,23 @@ class TileMatrix:
 
     def tile_precision(self, i: int, j: int) -> Precision:
         key, _ = self._stored_key(i, j)
-        if key in self._tiles:
-            return self._tiles[key].precision
+        tile = self._tiles.get(key)
+        if tile is not None:
+            return tile.precision
+        if self._binding is not None:
+            p = self._binding.tile_precision(key)
+            if p is not None:
+                return p
         return self.default_precision
 
     def set_tile_precision(self, i: int, j: int, precision: Precision | str) -> None:
         """Re-quantize one tile to a new storage precision."""
         key, _ = self._stored_key(i, j)
         tile = self.get_tile(*key)
-        self._tiles[key] = tile.convert(precision)
+        # route through set_tile: identical to the historical
+        # ``tile.convert`` (both re-quantize the float64 view), and the
+        # store accounting sees the re-quantized footprint
+        self.set_tile(*key, tile.to_float64(), precision=precision)
 
     def apply_precision_map(self, pmap: PrecisionMap) -> None:
         """Re-quantize every stored tile according to a precision map."""
@@ -244,20 +329,38 @@ class TileMatrix:
         if ord == "fro":
             total = 0.0
             for (i, j) in self._iter_stored():
-                tile = self._tiles.get((i, j))
-                if tile is None:
+                if not self.has_tile_data(i, j):
                     continue  # unmaterialized tiles are implicit zeros
-                sq = float(np.linalg.norm(tile.to_float64())) ** 2
+                # get_tile faults spilled tiles in (and back out) under
+                # the budget; values are bitwise whatever residency says
+                sq = float(np.linalg.norm(self.get_tile(i, j).to_float64())) ** 2
                 total += sq if (not self.symmetric or i == j) else 2.0 * sq
             return float(np.sqrt(total))
         return float(np.linalg.norm(self.to_dense(), ord=ord))
 
     def nbytes(self) -> int:
-        """Total storage footprint under the current precision mosaic."""
+        """Total *logical* storage footprint under the precision mosaic.
+
+        Counts every tile holding data at its storage precision whether
+        resident or spilled — the mosaic's size, independent of where
+        the bytes currently live.  See :meth:`resident_nbytes` for the
+        in-memory share of a store-backed matrix.
+        """
+        if self._binding is not None:
+            return self._binding.logical_nbytes()
+        return sum(t.nbytes for t in self._tiles.values())
+
+    def resident_nbytes(self) -> int:
+        """Bytes currently resident in memory (== :meth:`nbytes` when
+        the matrix has no store attached)."""
+        if self._binding is not None:
+            return self._binding.resident_nbytes()
         return sum(t.nbytes for t in self._tiles.values())
 
     def footprint_by_precision(self) -> dict[Precision, int]:
         """Bytes stored per precision (used for footprint-reduction reporting)."""
+        if self._binding is not None:
+            return self._binding.footprint_by_precision()
         out: dict[Precision, int] = {}
         for t in self._tiles.values():
             out[t.precision] = out.get(t.precision, 0) + t.nbytes
@@ -296,8 +399,22 @@ class TileMatrix:
         return self.add_diagonal(new_alpha - old_alpha)
 
     def copy(self) -> "TileMatrix":
+        """Deep copy (store-backed sources produce store-backed copies).
+
+        On a store-backed matrix, tiles stream through one at a time —
+        faulted in from the source and immediately subject to eviction
+        on the copy — so the copy never exceeds the budget.
+        """
         dup = TileMatrix(self.layout, self.default_precision, self.symmetric)
-        dup._tiles = {k: t.copy() for k, t in self._tiles.items()}
+        if self._binding is None:
+            dup._tiles = {k: t.copy() for k, t in self._tiles.items()}
+            return dup
+        dup.attach_store(self.store)
+        for key in self._iter_stored():
+            if not self.has_tile_data(*key):
+                continue
+            tile = self.get_tile(*key)
+            dup.set_tile(*key, tile.to_float64(), precision=tile.precision)
         return dup
 
     def shallow_copy(self) -> "TileMatrix":
@@ -311,9 +428,16 @@ class TileMatrix:
         allocating only new *diagonal* tiles.  In-place tile mutation
         (``Tile.update``/``Tile.convert_``, ``apply_precision_map``)
         would be shared; callers that need those must :meth:`copy`.
+
+        A store-backed source hands the copy its own binding on the
+        same store: resident tiles stay shared objects, spill slots are
+        shared read-only, and later writes from either matrix diverge.
         """
         dup = TileMatrix(self.layout, self.default_precision, self.symmetric)
-        dup._tiles = dict(self._tiles)
+        if self._binding is None:
+            dup._tiles = dict(self._tiles)
+        else:
+            dup._binding = self.store.clone_binding(self, dup)
         return dup
 
     def unpacked_lower(self) -> "TileMatrix":
@@ -323,13 +447,23 @@ class TileMatrix:
         Cholesky consumes only the lower-triangle tiles, so symmetric
         kernels hand over per-tile copies (keeping each tile's storage
         precision) without ever materializing a dense array.  Upper
-        tiles are left unmaterialized (they read as zeros).
+        tiles are left unmaterialized (they read as zeros).  The
+        workspace of a store-backed kernel is store-backed too, tiles
+        streaming through one at a time under the budget.
         """
         out = TileMatrix(self.layout, self.default_precision, symmetric=False)
+        if self._binding is None:
+            for key in self.layout.iter_lower_tiles():
+                tile = self._tiles.get(key)
+                if tile is not None:
+                    out._tiles[key] = tile.copy()
+            return out
+        out.attach_store(self.store)
         for key in self.layout.iter_lower_tiles():
-            tile = self._tiles.get(key)
-            if tile is not None:
-                out._tiles[key] = tile.copy()
+            if not self.has_tile_data(*key):
+                continue
+            tile = self.get_tile(*key)
+            out.set_tile(*key, tile.to_float64(), precision=tile.precision)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -284,9 +284,11 @@ def pack_tile_matrix(matrix: TileMatrix, prefix: str = "",
     for (i, j) in matrix._iter_stored():
         if lower_only and j > i:
             continue  # zero by the (lower-)triangular contract
-        tile = matrix._tiles.get((i, j))
-        if tile is None:
+        if not matrix.has_tile_data(i, j):
             continue  # implicit zero tile: nothing to store
+        # get_tile faults spilled tiles of a store-backed matrix back in
+        # one at a time (bitwise), so packing stays under the budget
+        tile = matrix.get_tile(i, j)
         key = f"{prefix}t{i}_{j}"
         arrays[key] = encode_payload(tile.data, tile.precision)
         tiles_meta.append({"i": i, "j": j, "precision": tile.precision.value})
@@ -303,11 +305,18 @@ def pack_tile_matrix(matrix: TileMatrix, prefix: str = "",
     return arrays
 
 
-def unpack_tile_matrix(arrays, prefix: str = "") -> TileMatrix:
+def unpack_tile_matrix(arrays, prefix: str = "", store=None) -> TileMatrix:
     """Rebuild a ``TileMatrix`` from :func:`pack_tile_matrix` arrays.
 
     ``arrays`` is any mapping from names to arrays — a plain dict or an
     open ``numpy.lib.npyio.NpzFile``.
+
+    With ``store`` (a :class:`~repro.store.TileStore`) the matrix comes
+    back **store-backed and fully spilled**: each tile's native bytes
+    stream from the archive straight into a spill segment without ever
+    being resident, and fault in lazily on first access.  Opening a
+    large artifact this way costs near-zero resident tile bytes — the
+    serving registry's budget then reflects what is actually in memory.
     """
     meta = meta_from_array(arrays[f"{prefix}meta"])
     if meta.get("format_version", 0) > FORMAT_VERSION:
@@ -319,10 +328,17 @@ def unpack_tile_matrix(arrays, prefix: str = "") -> TileMatrix:
     out = TileMatrix(layout,
                      precision=Precision.from_string(meta["default_precision"]),
                      symmetric=bool(meta["symmetric"]))
+    if store is not None:
+        out.attach_store(store)
     for entry in meta["tiles"]:
         i, j = int(entry["i"]), int(entry["j"])
         precision = Precision.from_string(entry["precision"])
         raw = arrays[f"{prefix}t{i}_{j}"]
+        if store is not None:
+            # NpzFile members load lazily, so peak memory here is one
+            # encoded tile; the bytes land spilled, not resident
+            out._binding.adopt((i, j), raw, precision)
+            continue
         payload = decode_payload(raw, precision)
         out._tiles[(i, j)] = Tile(payload, precision=precision, coords=(i, j))
     return out
@@ -342,7 +358,11 @@ def save_tile_matrix(matrix: TileMatrix, path: str | Path,
     return write_archive(path, pack_tile_matrix(matrix), compress=compress)
 
 
-def load_tile_matrix(path: str | Path) -> TileMatrix:
-    """Load a ``TileMatrix`` written by :func:`save_tile_matrix`."""
+def load_tile_matrix(path: str | Path, store=None) -> TileMatrix:
+    """Load a ``TileMatrix`` written by :func:`save_tile_matrix`.
+
+    ``store`` opens the matrix store-backed and fully spilled (see
+    :func:`unpack_tile_matrix`).
+    """
     with np.load(resolve_archive_path(path), allow_pickle=False) as archive:
-        return unpack_tile_matrix(archive)
+        return unpack_tile_matrix(archive, store=store)

@@ -112,9 +112,12 @@ class TestBitwiseRoundTrip:
         model = session.export_model()
         loaded = FittedModel.load(model.save(tmp_path / "model"))
         for (i, j) in model.factor._iter_stored():
-            a = model.factor._tiles.get((i, j))
-            if a is None:
+            # has_tile_data/get_tile see spilled tiles too, so this
+            # stays exhaustive when the suite runs out-of-core
+            # (REPRO_STORE_BUDGET)
+            if not model.factor.has_tile_data(i, j):
                 continue
+            a = model.factor.get_tile(i, j)
             b = loaded.factor.get_tile(i, j)
             assert b.precision is a.precision
             assert np.array_equal(b.data, a.data)

@@ -379,7 +379,15 @@ class TestShallowRegularizedCopy:
         before_dense = {k: t.to_float64() for k, t in before.items()}
         session.associate(y)
         for (i, j), tile in before.items():
-            assert session.kernel_.get_tile(i, j) is tile
+            if session.store is None:
+                # object identity proves zero copying; an out-of-core
+                # session (REPRO_STORE_BUDGET) may legitimately have
+                # spilled and re-faulted the tile, so only the bitwise
+                # value contract applies there
+                assert session.kernel_.get_tile(i, j) is tile
+            np.testing.assert_array_equal(
+                session.kernel_.get_tile(i, j).to_float64(),
+                before_dense[(i, j)])
             np.testing.assert_array_equal(tile.to_float64(), before_dense[(i, j)])
 
     def test_repeated_associate_identical(self, cohort_512):
