@@ -49,6 +49,7 @@ from repro.precision.gemm import (
     integer_gemm_dtype,
     variant_for_input,
 )
+from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime, resolve_execution, resolve_workers
 from repro.runtime.task import AccessMode
 from repro.tiles.adaptive import AdaptivePrecisionRule, decide_tile_precisions
@@ -719,6 +720,9 @@ class KernelBuilder:
             )
         try:
             rt.run(phase=self.trace_phase)
+        except TaskGroupError:
+            rt.reset_graph()
+            raise
         finally:
             rt.release(ns)
 

@@ -215,6 +215,13 @@ def _validate_execution_knobs(cfg) -> None:
         raise ValueError("workers must be positive (or None)")
 
 
+def _validate_resilience_knobs(cfg) -> None:
+    if cfg.task_retries is not None and cfg.task_retries < 0:
+        raise ValueError("task_retries must be non-negative (or None)")
+    if cfg.task_timeout_s is not None and cfg.task_timeout_s <= 0:
+        raise ValueError("task_timeout_s must be positive (or None)")
+
+
 @dataclass(frozen=True)
 class RRConfig(_WithOptionsMixin):
     """Ridge-regression GWAS configuration (Eq. 1–2).
@@ -237,6 +244,17 @@ class RRConfig(_WithOptionsMixin):
         Execution mode of the session's task runtime: ``"threaded"``
         (default), ``"serial"`` or ``"simulated"``; ``None`` resolves
         ``REPRO_EXECUTION``.
+    task_retries:
+        Transient-failure retries per task (capped exponential backoff
+        with deterministic jitter).  ``None`` resolves the
+        ``REPRO_TASK_RETRIES`` environment variable; unset, tasks fail
+        fast.  Retries are bitwise neutral: task bodies are pure, so a
+        re-execution produces the identical tiles.
+    task_timeout_s:
+        Per-task wall-clock timeout.  An overdue task fails with
+        :class:`~repro.resilience.TaskTimeoutError` (aggregated into
+        the run's :class:`~repro.resilience.TaskGroupError`).  ``None``
+        disables the watchdog.
     """
 
     regularization: float = 1.0
@@ -245,12 +263,15 @@ class RRConfig(_WithOptionsMixin):
     snp_precision: Precision = Precision.INT8
     workers: int | None = None
     execution: str | None = None
+    task_retries: int | None = None
+    task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.regularization < 0:
             raise ValueError("regularization must be non-negative")
         if self.tile_size <= 0:
             raise ValueError("tile_size must be positive")
+        _validate_resilience_knobs(self)
         _validate_execution_knobs(self)
         object.__setattr__(self, "snp_precision",
                            Precision.from_string(self.snp_precision))
@@ -329,6 +350,20 @@ class KRRConfig(_WithOptionsMixin):
         collected.  Setting ``store_dir`` alone (without a budget)
         creates an unbounded store, useful only for artifact-backed
         loading.
+    task_retries:
+        Transient-failure retries per runtime task (capped exponential
+        backoff with deterministic seeded jitter).  ``None`` resolves
+        the ``REPRO_TASK_RETRIES`` environment variable; unset, tasks
+        fail fast.  Retries are bitwise neutral: task bodies are pure,
+        so a re-execution reproduces the identical tiles and the run's
+        result matches the fault-free run exactly.
+    task_timeout_s:
+        Per-task wall-clock timeout enforced by the scheduler watchdog.
+        An overdue task fails with
+        :class:`~repro.resilience.TaskTimeoutError`, aggregated with
+        any other failures into a
+        :class:`~repro.resilience.TaskGroupError`.  ``None`` disables
+        the watchdog.
     """
 
     gamma: float = 0.01
@@ -345,6 +380,8 @@ class KRRConfig(_WithOptionsMixin):
     artifact_compress: bool = False
     store_budget_bytes: int | None = None
     store_dir: str | None = None
+    task_retries: int | None = None
+    task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.gamma < 0:
@@ -359,6 +396,7 @@ class KRRConfig(_WithOptionsMixin):
             raise ValueError("tile_size must be positive")
         if self.store_budget_bytes is not None and self.store_budget_bytes <= 0:
             raise ValueError("store_budget_bytes must be positive (or None)")
+        _validate_resilience_knobs(self)
         _validate_execution_knobs(self)
         if self.build_workers is not None:
             warnings.warn(
@@ -387,7 +425,8 @@ class KRRConfig(_WithOptionsMixin):
         """JSON-ready representation embedded in fitted-model artifacts.
 
         The machine-specific runtime knobs (``workers``, ``execution``,
-        ``store_budget_bytes``, ``store_dir``) are deliberately *not*
+        ``store_budget_bytes``, ``store_dir``, ``task_retries``,
+        ``task_timeout_s``) are deliberately *not*
         serialized: an artifact loaded on another host must resolve its
         concurrency and memory budget from that host's environment, not
         from wherever the model happened to be trained.
@@ -447,8 +486,20 @@ class ServeConfig(_WithOptionsMixin):
         (rounded to a tile multiple, like
         ``KRRConfig.predict_batch_rows`` which it overrides when set).
     max_queue_depth:
-        Backpressure bound: ``submit`` raises when this many requests
-        are already queued.  ``None`` means unbounded.
+        Backpressure bound: ``submit`` sheds the request with a
+        :class:`~repro.resilience.ServiceOverloadedError` when this
+        many requests are already queued.  ``None`` means unbounded.
+    request_deadline_s:
+        Default per-request deadline, measured from submission.  A
+        request still queued past its deadline fails fast with
+        :class:`~repro.resilience.DeadlineExceededError` and is
+        excluded from micro-batch planning (no wasted kernel work).
+        ``None`` means no default deadline; ``submit``/``predict`` can
+        override per request.
+    dispatch_retries:
+        Transient-failure retries of one micro-batch dispatch (the
+        streamed ``predict_many`` call).  Non-transient errors fail the
+        batch immediately.
     trace_reset_batches:
         Every this many micro-batches per serving session, the
         session runtime's cumulative traces are dropped
@@ -462,6 +513,8 @@ class ServeConfig(_WithOptionsMixin):
     batch_window_s: float = 0.002
     batch_rows: int | None = None
     max_queue_depth: int | None = None
+    request_deadline_s: float | None = None
+    dispatch_retries: int = 1
     trace_reset_batches: int | None = 256
 
     def __post_init__(self) -> None:
@@ -473,6 +526,10 @@ class ServeConfig(_WithOptionsMixin):
             raise ValueError("batch_rows must be positive (or None)")
         if self.max_queue_depth is not None and self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive (or None)")
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ValueError("request_deadline_s must be positive (or None)")
+        if self.dispatch_retries < 0:
+            raise ValueError("dispatch_retries must be non-negative")
         if (self.trace_reset_batches is not None
                 and self.trace_reset_batches <= 0):
             raise ValueError("trace_reset_batches must be positive (or None)")

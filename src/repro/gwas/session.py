@@ -124,7 +124,9 @@ class KRRSession:
         # phase (Build row tasks, Cholesky tiles, triangular solves,
         # Predict GEMMs) and its per-phase traces feed the accounting.
         self.runtime = Runtime(execution=config.execution,
-                               workers=config.workers)
+                               workers=config.workers,
+                               task_retries=config.task_retries,
+                               task_timeout_s=config.task_timeout_s)
         # Out-of-core tile store (None = fully resident).  Created when
         # the config sets a budget/directory or REPRO_STORE_BUDGET is
         # in the environment; the streamed Build, the factorization
@@ -672,7 +674,9 @@ class RRSession:
         # session-long runtime shared by the factorization, solves and
         # predict GEMMs (same execution engine as KRRSession)
         self.runtime = Runtime(execution=config.execution,
-                               workers=config.workers)
+                               workers=config.workers,
+                               task_retries=config.task_retries,
+                               task_timeout_s=config.task_timeout_s)
         self.beta_: np.ndarray | None = None
         self.factorization_: CholeskyResult | None = None
         self.column_means_: np.ndarray | None = None

@@ -17,6 +17,7 @@ import numpy as np
 from repro.precision.formats import Precision
 from repro.precision.gemm import QuantizedOperand, gemm_mixed, variant_for_input
 from repro.precision.quantize import quantize
+from repro.resilience.errors import TaskGroupError
 from repro.tiles.layout import TileLayout
 
 
@@ -173,6 +174,9 @@ def gemm(
         try:
             runtime.run(phase=phase)
             return out_h.payload
+        except TaskGroupError:
+            runtime.reset_graph()
+            raise
         finally:
             runtime.release(ns)
     a = np.asarray(a, dtype=np.float64).T if transa else np.asarray(a, dtype=np.float64)

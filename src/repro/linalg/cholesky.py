@@ -46,6 +46,7 @@ from repro.linalg.kernels import (
     tile_trsm,
     trsm_flops,
 )
+from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime
 from repro.runtime.task import AccessMode
 from repro.tiles.matrix import TileMatrix
@@ -414,6 +415,16 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
 
     try:
         schedule = runtime.run(phase=phase)
+    except TaskGroupError as exc:
+        # a failed factorization DAG is disposable: the session's
+        # alpha-boost retry inserts a fresh one, so don't park the
+        # unfinished subgraph on the session runtime
+        runtime.reset_graph()
+        if exc.matches(np.linalg.LinAlgError):
+            # purely numerical failure (indefinite pivot) keeps its
+            # historical type so regularization retries can catch it
+            raise np.linalg.LinAlgError(str(exc.failures[0].error)) from exc
+        raise
     finally:
         # failed attempts (indefinite matrix at too-small alpha) must
         # not leak this invocation's handles into the session registry
@@ -596,6 +607,11 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
 
     try:
         schedule = runtime.run(phase=phase)
+    except TaskGroupError as exc:
+        runtime.reset_graph()
+        if exc.matches(np.linalg.LinAlgError):
+            raise np.linalg.LinAlgError(str(exc.failures[0].error)) from exc
+        raise
     finally:
         runtime.release(ns)
     result.schedule = schedule

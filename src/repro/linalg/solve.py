@@ -16,6 +16,7 @@ from repro.precision.formats import Precision
 from repro.precision.quantize import quantize
 from repro.linalg.cholesky import CholeskyResult
 from repro.linalg.kernels import gemm_flops, trsm_flops
+from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime
 from repro.runtime.task import AccessMode
 from repro.tiles.matrix import TileMatrix
@@ -145,6 +146,11 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
     try:
         runtime.run(phase=phase)
         return {i: handles[i].payload for i in range(nt)}
+    except TaskGroupError:
+        # library DAGs are raise-and-discard: a retried solve inserts a
+        # fresh graph, so don't leave the failed subgraph pending
+        runtime.reset_graph()
+        raise
     finally:
         runtime.release(ns)
 

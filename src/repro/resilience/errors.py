@@ -1,0 +1,222 @@
+"""Typed failure taxonomy of the resilience layer.
+
+Every layer of the stack surfaces *permanent* failures through one of
+the exception types here, each carrying enough context (task name/tag,
+tile coordinates, queue depths) to diagnose a multi-hour run post
+mortem without re-running it:
+
+``TaskGroupError``
+    Aggregate failure of a task-graph drain: **every** failed task is
+    reported (name, uid, tag, retries taken, underlying error), along
+    with which tasks completed and which never ran — replacing the
+    historical behaviour of re-raising an arbitrary first failure.
+``TaskTimeoutError``
+    A task exceeded the scheduler's per-task timeout (stalled worker).
+``StoreCorruptionError``
+    A spill slot failed its integrity check on reload: truncated
+    segment, checksum mismatch, or unreadable file — named by matrix,
+    tile coordinates, precision and segment path.
+``ServiceOverloadedError``
+    Admission control shed a request because the serve queue is full.
+``DeadlineExceededError``
+    A serve request's deadline expired before (or while) it was queued.
+
+Transient faults — injected or real — are modelled by
+``InjectedFault`` / ``InjectedIOError`` plus the :func:`is_transient`
+predicate the retry machinery consults.  This module is deliberately a
+leaf: stdlib-only, importable from every layer without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InjectedFault",
+    "InjectedIOError",
+    "TaskFailure",
+    "TaskGroupError",
+    "TaskTimeoutError",
+    "StoreCorruptionError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "is_transient",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A fault raised by a :class:`~repro.resilience.faults.FaultPlan` site."""
+
+    def __init__(self, site: str, key: object = None,
+                 transient: bool = True) -> None:
+        self.site = site
+        self.key = key
+        self.transient = transient
+        flavor = "transient" if transient else "permanent"
+        super().__init__(
+            f"injected {flavor} fault at site {site!r}"
+            + (f" (key={key!r})" if key is not None else ""))
+
+
+class InjectedIOError(OSError):
+    """An injected I/O fault (``kind="oserror"`` sites)."""
+
+    def __init__(self, site: str, key: object = None) -> None:
+        self.site = site
+        self.key = key
+        self.transient = True
+        super().__init__(
+            f"injected I/O fault at site {site!r}"
+            + (f" (key={key!r})" if key is not None else ""))
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Is ``exc`` worth retrying?
+
+    Transient means: an explicitly transient injected fault, a plain
+    I/O error (the classic supercomputer filesystem hiccup), or an
+    aggregate whose every member is itself transient.  Typed permanent
+    failures (``StoreCorruptionError``, ``TaskTimeoutError``,
+    numerical errors) are *not* transient — retrying them re-fails.
+    """
+    marker = getattr(exc, "transient", None)
+    if marker is not None:
+        return bool(marker)
+    if isinstance(exc, (StoreCorruptionError, TaskTimeoutError)):
+        return False
+    return isinstance(exc, OSError)
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task exceeded the scheduler's per-task timeout."""
+
+    def __init__(self, task_name: str, task_uid: int, tag: object,
+                 timeout_s: float, elapsed_s: float) -> None:
+        self.task_name = task_name
+        self.task_uid = task_uid
+        self.tag = tag
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"task {task_name!r}#{task_uid} (tag={tag!r}) exceeded the "
+            f"per-task timeout: {elapsed_s:.3f}s > {timeout_s:.3f}s")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed task inside a :class:`TaskGroupError`."""
+
+    task: object
+    error: BaseException
+    retries: int = 0
+
+    def describe(self) -> str:
+        task = self.task
+        name = getattr(task, "name", "?")
+        uid = getattr(task, "uid", "?")
+        tag = getattr(task, "tag", None)
+        suffix = f" after {self.retries} retr" + (
+            "y" if self.retries == 1 else "ies") if self.retries else ""
+        return (f"task {name!r}#{uid} (tag={tag!r}){suffix}: "
+                f"{type(self.error).__name__}: {self.error}")
+
+
+class TaskGroupError(RuntimeError):
+    """Aggregate failure of a task-graph drain.
+
+    Attributes
+    ----------
+    failures:
+        One :class:`TaskFailure` per failed task (name, uid, tag, the
+        retries taken and the underlying exception) — *all* of them,
+        not just whichever thread lost the race.
+    completed:
+        Tasks that finished successfully before the drain ended; their
+        results are valid, their events are in :attr:`trace`, and a
+        resumed run must not re-execute them.
+    unfinished:
+        Failed tasks plus every task left blocked or never started, in
+        insertion order — exactly the subgraph a follow-up
+        :meth:`~repro.runtime.runtime.Runtime.run` re-drains.
+    trace:
+        The partial :class:`~repro.runtime.trace.ExecutionTrace` of the
+        completed tasks.
+    """
+
+    _LISTED = 8
+
+    def __init__(self, failures, completed=(), unfinished=(),
+                 trace=None) -> None:
+        self.failures = tuple(failures)
+        self.completed = tuple(completed)
+        self.unfinished = tuple(unfinished)
+        self.trace = trace
+        lines = [f.describe() for f in self.failures[:self._LISTED]]
+        more = len(self.failures) - self._LISTED
+        if more > 0:
+            lines.append(f"... and {more} more")
+        total = len(self.completed) + len(self.unfinished)
+        super().__init__(
+            f"{len(self.failures)} of {total} task(s) failed "
+            f"({len(self.completed)} completed, "
+            f"{len(self.unfinished)} unfinished):\n  " + "\n  ".join(lines))
+        if self.failures:
+            self.__cause__ = self.failures[0].error
+
+    def matches(self, exc_type) -> bool:
+        """True when every failure is an instance of ``exc_type``."""
+        return bool(self.failures) and all(
+            isinstance(f.error, exc_type) for f in self.failures)
+
+    @property
+    def transient(self) -> bool:
+        """True when every underlying failure is transient."""
+        return bool(self.failures) and all(
+            is_transient(f.error) for f in self.failures)
+
+
+class StoreCorruptionError(RuntimeError):
+    """A spill slot failed its integrity check on reload.
+
+    Carries the tile's identity (matrix descriptor, grid coordinates,
+    storage precision) and the segment location so corruption reports
+    name *what* was lost, not just that a reshape crashed.
+    """
+
+    def __init__(self, matrix: str, coords: tuple[int, int],
+                 precision: object, path: object, reason: str) -> None:
+        self.matrix = matrix
+        self.coords = coords
+        self.precision = precision
+        self.path = path
+        self.reason = reason
+        super().__init__(
+            f"corrupted spill slot for tile {coords} of {matrix} "
+            f"(precision={getattr(precision, 'value', precision)}, "
+            f"segment={path}): {reason}")
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Admission control shed a request: the serve queue is full."""
+
+    def __init__(self, queue_depth: int, max_queue_depth: int) -> None:
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"serve queue is full ({queue_depth} pending requests, "
+            f"max_queue_depth={max_queue_depth}); request shed")
+
+
+class DeadlineExceededError(TimeoutError):
+    """A serve request's deadline expired before it was executed."""
+
+    #: ``TimeoutError`` is an ``OSError`` (hence transient by default);
+    #: an expired deadline is permanent — the caller already gave up.
+    transient = False
+
+    def __init__(self, deadline_s: float, waited_s: float) -> None:
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s
+        super().__init__(
+            f"request deadline of {deadline_s:.3f}s expired after "
+            f"{waited_s:.3f}s in queue; request was never dispatched")

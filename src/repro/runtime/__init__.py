@@ -42,6 +42,12 @@ from repro.runtime.scheduler import (
     SchedulerError,
 )
 from repro.runtime.runtime import Runtime, resolve_execution, resolve_workers
+from repro.resilience.errors import (
+    TaskFailure,
+    TaskGroupError,
+    TaskTimeoutError,
+)
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "AccessMode",
@@ -63,4 +69,8 @@ __all__ = [
     "Runtime",
     "resolve_execution",
     "resolve_workers",
+    "TaskFailure",
+    "TaskGroupError",
+    "TaskTimeoutError",
+    "RetryPolicy",
 ]

@@ -32,6 +32,8 @@ from typing import Any
 import numpy as np
 
 from repro.precision.formats import Precision
+from repro.resilience.errors import TaskGroupError
+from repro.resilience.retry import RetryPolicy, resolve_retry_policy
 from repro.runtime.comm import CommunicationEngine
 from repro.runtime.dag import TaskGraph
 from repro.runtime.device import DeviceModel, GENERIC_GPU, make_devices
@@ -94,6 +96,17 @@ class Runtime:
         Worker threads of the threaded mode; ``None`` resolves through
         :func:`resolve_workers` (``REPRO_WORKERS`` env var, then
         ``min(8, cpu_count)``).
+    task_retries:
+        Transient-failure retry budget per task (see
+        :class:`~repro.resilience.retry.RetryPolicy`); ``None`` resolves
+        through ``REPRO_TASK_RETRIES`` and finally to fail-fast.
+    task_timeout_s:
+        Per-task wall-clock budget; overruns become
+        :class:`~repro.resilience.errors.TaskTimeoutError` failures
+        instead of hanging the drain.
+    retry_policy:
+        Full :class:`~repro.resilience.retry.RetryPolicy` override
+        (backoff pacing, jitter seed); wins over ``task_retries``.
     """
 
     def __init__(
@@ -104,6 +117,9 @@ class Runtime:
         execute_bodies: bool = True,
         execution: str | None = None,
         workers: int | None = None,
+        task_retries: int | None = None,
+        task_timeout_s: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.execution = resolve_execution(execution)
         self.workers = resolve_workers(workers)
@@ -129,6 +145,9 @@ class Runtime:
             devices=self.devices, comm=self.comm,
             execute_bodies=execute_bodies,
             execution=self.execution, workers=self.workers,
+            retry_policy=(retry_policy if retry_policy is not None
+                          else resolve_retry_policy(task_retries)),
+            task_timeout_s=task_timeout_s,
         )
         self._handles: dict[str, DataHandle] = {}
         self._handle_uids: set[int] = set()
@@ -287,15 +306,36 @@ class Runtime:
     def run(self, phase: str | None = None) -> ScheduleResult:
         """Drain the pending graph: schedule and execute its tasks.
 
-        The pending graph is consumed whether or not execution succeeds
-        (a failed run must not leave poisoned tasks behind for the next
-        phase); on success its events are appended to
+        On success the run's events are appended to
         :attr:`session_trace` and, when ``phase`` is given, to that
         phase's cumulative trace.
+
+        Failed runs are **resumable**: when the scheduler raises
+        :class:`~repro.resilience.errors.TaskGroupError`, the tasks
+        that completed stay done (their events are merged into the
+        traces), and the unfinished subgraph — failed tasks plus
+        everything blocked behind them — becomes the pending graph
+        again, so a follow-up :meth:`run` re-drains only what never
+        finished.  Callers that treat a failed DAG as disposable (the
+        library routines do) call :meth:`reset_graph` instead.
         """
         graph, self.graph = self.graph, TaskGraph()
         self.last_graph = graph
-        result = self.scheduler.run(graph)
+        try:
+            result = self.scheduler.run(graph)
+        except TaskGroupError as exc:
+            if exc.trace is not None:
+                self.session_trace.merge(exc.trace)
+                if phase is not None:
+                    self._phase_traces.setdefault(
+                        phase, ExecutionTrace()).merge(exc.trace)
+            # re-adding the unfinished tasks in insertion order
+            # re-derives exactly the induced dependency subgraph
+            resume = TaskGraph()
+            for task in exc.unfinished:
+                resume.add_task(task)
+            self.graph = resume
+            raise
         self.session_trace.merge(result.trace)
         if phase is not None:
             self._phase_traces.setdefault(phase, ExecutionTrace()).merge(

@@ -32,6 +32,20 @@ ready set, ``task_dispatch`` just before its body runs, and
 store uses these to prefetch, pin and release a task's tiles
 (:class:`repro.store.StoreSchedulerHooks`); execution semantics are
 unchanged when no hooks are installed.
+
+Failure model (see ``docs/architecture.md``, "Failure model &
+recovery"): task bodies are pure, so a transiently failed task is
+simply re-executed under the configured :class:`RetryPolicy` — capped
+exponential backoff with deterministic seeded jitter, retries counted
+in the task's :class:`TaskEvent`.  Permanent failures do **not** abort
+the drain: the scheduler keeps executing every task that does not
+depend on a failed one, then raises a single :class:`TaskGroupError`
+aggregating all failures (with per-task context), the completed set
+and the unfinished subgraph.  A per-task timeout (``task_timeout_s``)
+turns stalled workers into :class:`TaskTimeoutError` failures via a
+watchdog thread instead of hanging the drain.  The named injection
+sites ``task-body`` and ``worker-stall`` fire here, before each body
+attempt, when a :class:`~repro.resilience.faults.FaultPlan` is active.
 """
 
 from __future__ import annotations
@@ -41,6 +55,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.resilience.errors import TaskFailure, TaskGroupError, TaskTimeoutError
+from repro.resilience.faults import SITE_TASK_BODY, SITE_WORKER_STALL, active_plan
+from repro.resilience.retry import RetryPolicy, resolve_retry_policy
 from repro.runtime.comm import CommunicationEngine
 from repro.runtime.dag import TaskGraph
 from repro.runtime.device import (
@@ -108,7 +125,9 @@ class Scheduler:
         When False task bodies are skipped in *every* mode and only the
         schedule bookkeeping runs (useful for very large synthetic DAGs
         in the performance model — the simulated mode keeps its device
-        timing, the threaded/serial modes time empty drains).
+        timing, the threaded/serial modes time empty drains).  Fault
+        injection and retries are also skipped: there is no body to
+        fail or re-run.
     owner_computes:
         Simulated-mode mapping policy: tasks run on the home device of
         their first written handle; otherwise on the earliest-free
@@ -124,6 +143,16 @@ class Scheduler:
         ``task_dispatch`` / ``task_complete`` methods (the serial and
         threaded drains call them; the simulated mode does not).  Used
         by the out-of-core store to pin/prefetch task tiles.
+    retry_policy:
+        Pacing of per-task re-execution after *transient* failures
+        (``None`` resolves from ``REPRO_TASK_RETRIES``, else fail-fast;
+        pass ``RetryPolicy(max_retries=0)`` to force fail-fast even
+        when the env knob is set).
+    task_timeout_s:
+        Per-task wall-clock budget.  The serial drain checks it post
+        hoc; the threaded drain runs a watchdog that marks overdue
+        tasks as :class:`TaskTimeoutError` failures and releases their
+        worker slot so the drain terminates instead of hanging.
     """
 
     devices: list[Device] = field(default_factory=lambda: make_devices(1))
@@ -133,6 +162,8 @@ class Scheduler:
     execution: str = "simulated"
     workers: int = 1
     hooks: object | None = None
+    retry_policy: RetryPolicy | None = None
+    task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.execution not in EXECUTION_MODES:
@@ -141,6 +172,10 @@ class Scheduler:
                 f"{self.execution!r}"
             )
         self.workers = max(1, int(self.workers))
+        if self.retry_policy is None:
+            self.retry_policy = resolve_retry_policy()
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
 
     def run(self, graph: TaskGraph) -> ScheduleResult:
         """Execute (and time) ``graph`` under the configured mode."""
@@ -154,6 +189,56 @@ class Scheduler:
         return self._run_threaded(graph)
 
     # ------------------------------------------------------------------
+    # body execution with fault injection + retry
+    # ------------------------------------------------------------------
+    def _execute_task(self, task: Task) -> tuple[int, BaseException | None]:
+        """Run ``task``'s body with injection and retries.
+
+        Returns ``(retries_taken, error)``; ``error`` is ``None`` on
+        success.  Injection sites fire *before* the body on every
+        attempt, so a retried attempt sees a fresh schedule decision.
+        Bodies are pure functions of their (quantized) inputs: however
+        many attempts a task takes, its successful output is bitwise
+        the output of the fault-free run.
+        """
+        if not self.execute_bodies:
+            return 0, None
+        policy = self.retry_policy
+        key = f"{task.name}#{task.uid}"
+        attempt = 0
+        while True:
+            try:
+                plan = active_plan()
+                if plan is not None:
+                    plan.inject(SITE_WORKER_STALL, key)
+                    plan.inject(SITE_TASK_BODY, key)
+                task.execute()
+                return attempt, None
+            except BaseException as exc:  # noqa: BLE001 - reported upstream
+                if (policy is None or attempt >= policy.max_retries
+                        or not policy.retryable(exc)):
+                    return attempt, exc
+                time.sleep(policy.delay(attempt, key))
+                attempt += 1
+
+    @staticmethod
+    def _group_error(graph: TaskGraph, failures: list[TaskFailure],
+                     completed: list[Task], order_index: dict[Task, int],
+                     trace: ExecutionTrace) -> TaskGroupError:
+        """Assemble the aggregate error for a drain that saw failures.
+
+        ``unfinished`` is the failed tasks plus everything left blocked
+        or unstarted, in insertion order — re-adding them to a fresh
+        graph re-derives exactly the induced dependency subgraph, which
+        is what makes post-failure runs resumable.
+        """
+        done = set(completed)
+        unfinished = [t for t in graph.tasks if t not in done]
+        failures = sorted(failures, key=lambda f: order_index[f.task])
+        return TaskGroupError(failures=failures, completed=tuple(completed),
+                              unfinished=tuple(unfinished), trace=trace)
+
+    # ------------------------------------------------------------------
     # serial drain (the threaded mode's bitwise reference)
     # ------------------------------------------------------------------
     def _run_serial(self, graph: TaskGraph) -> ScheduleResult:
@@ -165,25 +250,34 @@ class Scheduler:
         trace = ExecutionTrace()
         worker = make_devices(1, HOST_WORKER)
         t0 = time.perf_counter()
-        executed = 0
+        completed: list[Task] = []
+        failures: list[TaskFailure] = []
+        timeout = self.task_timeout_s
         while ready:
             _, _, task = heapq.heappop(ready)
             if hooks is not None:
                 hooks.task_dispatch(task)
             start = time.perf_counter() - t0
             try:
-                if self.execute_bodies:
-                    task.execute()
+                retries, error = self._execute_task(task)
             finally:
                 if hooks is not None:
                     hooks.task_complete(task)
             end = time.perf_counter() - t0
-            executed += 1
+            if error is None and timeout is not None and end - start > timeout:
+                # post-hoc check: a single-threaded drain cannot preempt
+                error = TaskTimeoutError(task.name, task.uid, task.tag,
+                                         timeout, end - start)
+            if error is not None:
+                failures.append(TaskFailure(task=task, error=error,
+                                            retries=retries))
+                continue  # successors stay blocked; drain the rest
+            completed.append(task)
             trace.add(TaskEvent(
                 task_name=task.name, task_uid=task.uid, device=0,
                 start=start, end=end, flops=task.flops,
                 precision=task.precision, tag=task.tag,
-                flops_detail=task.flops_detail,
+                flops_detail=task.flops_detail, retries=retries,
             ))
             worker[0].busy_time += end - start
             worker[0].tasks_executed += 1
@@ -194,10 +288,13 @@ class Scheduler:
                         ready, (-succ.priority, order_index[succ], succ))
                     if hooks is not None:
                         hooks.task_ready(succ)
-        if executed != graph.num_tasks:
+        if failures:
+            raise self._group_error(graph, failures, completed, order_index,
+                                    trace)
+        if len(completed) != graph.num_tasks:
             raise SchedulerError(
-                f"schedule executed {executed} of {graph.num_tasks} tasks "
-                "(dependency deadlock)"
+                f"schedule executed {len(completed)} of {graph.num_tasks} "
+                "tasks (dependency deadlock)"
             )
         worker[0].busy_until = time.perf_counter() - t0
         return ScheduleResult(trace=trace, comm=CommunicationEngine(),
@@ -215,57 +312,62 @@ class Scheduler:
         num_workers = min(self.workers, max(1, graph.num_tasks))
         workers = make_devices(num_workers, HOST_WORKER)
         trace = ExecutionTrace()
-        total = graph.num_tasks
+        timeout = self.task_timeout_s
 
         lock = threading.Lock()
         cond = threading.Condition(lock)
-        state = {"executed": 0, "in_flight": 0}
-        failures: list[BaseException] = []
+        state = {"in_flight": 0, "done": False, "timeouts": 0}
+        completed: list[Task] = []
+        failures: list[TaskFailure] = []
+        # tasks the watchdog gave up on: their worker (if it ever comes
+        # back) must discard the result instead of double-accounting it
+        timed_out: set[Task] = set()
+        inflight_start: dict[Task, float] = {}
         t0 = time.perf_counter()
-
-        def drained() -> bool:
-            return (state["executed"] >= total
-                    or bool(failures)
-                    or (not ready and state["in_flight"] == 0))
 
         def worker_loop(widx: int) -> None:
             device = workers[widx]
             while True:
                 with cond:
-                    while not ready and not drained():
+                    while not ready and state["in_flight"] > 0:
                         cond.wait()
-                    if not ready or failures:
+                    if not ready:
                         cond.notify_all()
                         return
                     _, _, task = heapq.heappop(ready)
                     state["in_flight"] += 1
+                    inflight_start[task] = time.perf_counter()
                 # pinning happens outside the scheduler lock: the store
                 # takes its own lock and never waits on this one
                 if hooks is not None:
                     hooks.task_dispatch(task)
                 start = time.perf_counter() - t0
                 try:
-                    if self.execute_bodies:
-                        task.execute()
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    retries, error = self._execute_task(task)
+                finally:
                     if hooks is not None:
                         hooks.task_complete(task)
-                    with cond:
-                        failures.append(exc)
-                        state["in_flight"] -= 1
-                        cond.notify_all()
-                    return
-                if hooks is not None:
-                    hooks.task_complete(task)
                 end = time.perf_counter() - t0
                 with cond:
-                    state["executed"] += 1
+                    if task in timed_out:
+                        # the watchdog already failed this task and
+                        # released our slot; drop the late result
+                        timed_out.discard(task)
+                        cond.notify_all()
+                        continue
+                    inflight_start.pop(task, None)
                     state["in_flight"] -= 1
+                    if error is not None:
+                        failures.append(TaskFailure(task=task, error=error,
+                                                    retries=retries))
+                        cond.notify_all()
+                        continue
+                    completed.append(task)
                     trace.add(TaskEvent(
                         task_name=task.name, task_uid=task.uid, device=widx,
                         start=start, end=end, flops=task.flops,
                         precision=task.precision, tag=task.tag,
-                        flops_detail=task.flops_detail,
+                        flops_detail=task.flops_detail, retries=retries,
                     ))
                     device.busy_time += end - start
                     device.tasks_executed += 1
@@ -279,6 +381,30 @@ class Scheduler:
                                 hooks.task_ready(succ)
                     cond.notify_all()
 
+        def watchdog_loop() -> None:
+            poll = max(0.005, min(timeout / 4.0, 0.1))
+            while True:
+                with cond:
+                    if state["done"]:
+                        return
+                    now = time.perf_counter()
+                    expired = [(t, ts) for t, ts in inflight_start.items()
+                               if now - ts > timeout]
+                    for task, started in expired:
+                        del inflight_start[task]
+                        timed_out.add(task)
+                        state["in_flight"] -= 1
+                        state["timeouts"] += 1
+                        failures.append(TaskFailure(
+                            task=task,
+                            error=TaskTimeoutError(
+                                task.name, task.uid, task.tag, timeout,
+                                now - started),
+                            retries=0))
+                    if expired:
+                        cond.notify_all()
+                    cond.wait(timeout=poll)
+
         threads = [
             threading.Thread(target=worker_loop, args=(i,),
                              name=f"repro-runtime-{i}", daemon=True)
@@ -286,15 +412,33 @@ class Scheduler:
         ]
         for t in threads:
             t.start()
+        watchdog = None
+        if timeout is not None:
+            watchdog = threading.Thread(target=watchdog_loop,
+                                        name="repro-runtime-watchdog",
+                                        daemon=True)
+            watchdog.start()
+
+        with cond:
+            while ready or state["in_flight"] > 0:
+                cond.wait()
+            state["done"] = True
+            cond.notify_all()
+            had_timeouts = state["timeouts"] > 0
+        # workers stuck inside a timed-out body stay behind as daemons;
+        # everyone else exits promptly once the ready set is empty
         for t in threads:
-            t.join()
+            t.join(timeout=0.5 if had_timeouts else None)
+        if watchdog is not None:
+            watchdog.join(timeout=1.0)
 
         if failures:
-            raise failures[0]
-        if state["executed"] != total:
+            raise self._group_error(graph, failures, completed, order_index,
+                                    trace)
+        if len(completed) != graph.num_tasks:
             raise SchedulerError(
-                f"schedule executed {state['executed']} of {total} tasks "
-                "(dependency deadlock)"
+                f"schedule executed {len(completed)} of {graph.num_tasks} "
+                "tasks (dependency deadlock)"
             )
         return ScheduleResult(trace=trace, comm=CommunicationEngine(),
                               devices=workers)
@@ -314,7 +458,8 @@ class Scheduler:
 
         indegree, order_index, ready = _ready_heap(graph)
 
-        executed = 0
+        completed: list[Task] = []
+        failures: list[TaskFailure] = []
         while ready:
             _, _, task = heapq.heappop(ready)
             device = self._map_task(task, location)
@@ -342,8 +487,11 @@ class Scheduler:
             duration = device.model.task_time(task.flops, task.precision)
             end = start + duration
 
-            if self.execute_bodies:
-                task.execute()
+            retries, error = self._execute_task(task)
+            if error is not None:
+                failures.append(TaskFailure(task=task, error=error,
+                                            retries=retries))
+                continue  # successors stay blocked, as in the real drains
 
             device.busy_until = end
             device.busy_time += duration
@@ -362,18 +510,22 @@ class Scheduler:
                 precision=task.precision,
                 tag=task.tag,
                 flops_detail=task.flops_detail,
+                retries=retries,
             ))
-            executed += 1
+            completed.append(task)
 
             for succ in graph.successors(task):
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     heapq.heappush(ready, (-succ.priority, order_index[succ], succ))
 
-        if executed != graph.num_tasks:
+        if failures:
+            raise self._group_error(graph, failures, completed, order_index,
+                                    trace)
+        if len(completed) != graph.num_tasks:
             raise SchedulerError(
-                f"schedule executed {executed} of {graph.num_tasks} tasks "
-                "(dependency deadlock)"
+                f"schedule executed {len(completed)} of {graph.num_tasks} "
+                "tasks (dependency deadlock)"
             )
         return ScheduleResult(trace=trace, comm=self.comm, devices=self.devices)
 

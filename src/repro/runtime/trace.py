@@ -29,6 +29,8 @@ class TaskEvent:
     tag: object = None
     #: optional per-precision split of ``flops`` (see ``Task.flops_detail``)
     flops_detail: object = None
+    #: transient-fault re-executions this task needed before succeeding
+    retries: int = 0
 
     @property
     def duration(self) -> float:
@@ -57,6 +59,11 @@ class ExecutionTrace:
     @property
     def num_tasks(self) -> int:
         return len(self.events)
+
+    @property
+    def total_retries(self) -> int:
+        """Retry budget spent across the trace (fault-tolerance cost)."""
+        return sum(e.retries for e in self.events)
 
     def throughput(self) -> float:
         """Aggregate op/s over the schedule (the paper's "mixed-precision op/s")."""

@@ -30,7 +30,8 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,10 +39,22 @@ import numpy as np
 from repro.gwas.config import ServeConfig
 from repro.gwas.model import FittedModel
 from repro.gwas.session import KRRSession
+from repro.resilience.errors import (
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    is_transient,
+)
+from repro.resilience.faults import SITE_SERVE_DISPATCH, inject
 from repro.serve.batching import plan_micro_batch
 from repro.serve.registry import ModelKey, ModelRegistry
 
-__all__ = ["PredictionService", "PredictResult", "ServiceStats"]
+__all__ = [
+    "PredictionService",
+    "PredictResult",
+    "ServiceStats",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+]
 
 #: Phase label of every serving run on the shared session runtimes —
 #: ``session.runtime.phase_trace("serve")`` is the service-side trace.
@@ -94,7 +107,16 @@ class PredictResult:
 
 @dataclass
 class ServiceStats:
-    """Cumulative service-side counters (snapshot via ``service.stats``)."""
+    """Cumulative service-side counters (snapshot via ``service.stats``).
+
+    The degradation ladder is observable here: ``shed`` requests were
+    refused at admission (queue full), ``expired`` requests hit their
+    deadline while queued and were failed fast without burning compute,
+    ``cancelled`` requests were abandoned by their caller (e.g. a
+    ``predict(timeout=...)`` that gave up) and removed before dispatch,
+    and ``dispatch_retries`` counts transient micro-batch execution
+    faults absorbed by re-dispatching.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -103,6 +125,10 @@ class ServiceStats:
     compute_s: float = 0.0
     max_coalesced: int = 0
     failures: int = 0
+    shed: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    dispatch_retries: int = 0
 
     @property
     def mean_coalesced(self) -> float:
@@ -117,6 +143,10 @@ class _PendingRequest:
     confounders: np.ndarray | None
     future: Future
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: absolute ``perf_counter`` point after which the request is dead
+    deadline: float | None = None
+    #: the relative budget the deadline came from (for error messages)
+    deadline_s: float | None = None
 
 
 class PredictionService:
@@ -213,14 +243,29 @@ class PredictionService:
     def submit(self, genotypes: np.ndarray,
                confounders: np.ndarray | None = None,
                model: str = DEFAULT_MODEL_NAME,
-               version: int | None = None) -> Future:
+               version: int | None = None,
+               deadline_s: float | None = None) -> Future:
         """Enqueue one cohort's predict request; returns its future.
 
         The model is resolved (and its registry recency bumped) at
         submit time, so an eviction between submit and execution cannot
         fail the request.  Cohort/model contract violations (SNP panel
         width, confounder presence) raise here, synchronously.
+
+        Degradation: a full admission queue raises
+        :class:`~repro.resilience.errors.ServiceOverloadedError`
+        instead of queueing unboundedly, and ``deadline_s`` (default
+        ``ServeConfig.request_deadline_s``) bounds how long the request
+        may wait — an expired request fails fast with
+        :class:`~repro.resilience.errors.DeadlineExceededError` and is
+        excluded from micro-batch planning, so the dispatcher never
+        burns flops on a caller that has already given up.
         """
+        return self._enqueue(self._make_request(
+            genotypes, confounders, model, version, deadline_s)).future
+
+    def _make_request(self, genotypes, confounders, model, version,
+                      deadline_s) -> _PendingRequest:
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed service")
@@ -253,28 +298,66 @@ class PredictionService:
                     f"request has {confounders.shape[1]} confounder "
                     f"column(s); the model expects "
                     f"{fitted.training_confounders.shape[1]}")
-        request = _PendingRequest(
+        if deadline_s is None:
+            deadline_s = self.config.request_deadline_s
+        submitted_at = time.perf_counter()
+        return _PendingRequest(
             key=entry.key, model=fitted, genotypes=genotypes,
-            confounders=confounders, future=Future())
+            confounders=confounders, future=Future(),
+            submitted_at=submitted_at,
+            deadline=(submitted_at + deadline_s
+                      if deadline_s is not None else None),
+            deadline_s=deadline_s)
+
+    def _enqueue(self, request: _PendingRequest) -> _PendingRequest:
         with self._cond:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed service")
             depth = self.config.max_queue_depth
             if depth is not None and len(self._queue) >= depth:
-                raise RuntimeError(
-                    f"serve queue is full ({depth} pending requests)")
+                self._stats.shed += 1
+                raise ServiceOverloadedError(len(self._queue), depth)
             self._queue.append(request)
             self._cond.notify_all()
-        return request.future
+        return request
+
+    def _abandon(self, request: _PendingRequest) -> None:
+        """Withdraw a request whose caller gave up waiting.
+
+        Removes it from the pending queue (when the dispatcher has not
+        pulled it yet) and cancels its future, so the dispatcher never
+        computes a micro-batch slot for an abandoned caller.
+        """
+        with self._cond:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass  # already pulled; cancel() below races the dispatch
+        if request.future.cancel():
+            with self._cond:
+                self._stats.cancelled += 1
 
     def predict(self, genotypes: np.ndarray,
                 confounders: np.ndarray | None = None,
                 model: str = DEFAULT_MODEL_NAME,
                 version: int | None = None,
-                timeout: float | None = None) -> PredictResult:
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(genotypes, confounders, model=model,
-                           version=version).result(timeout=timeout)
+                timeout: float | None = None,
+                deadline_s: float | None = None) -> PredictResult:
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        A ``timeout`` that expires withdraws the request (see
+        :meth:`_abandon`) before re-raising, so the dispatcher does not
+        compute work for a caller that stopped waiting.
+        """
+        request = self._enqueue(self._make_request(
+            genotypes, confounders, model, version, deadline_s))
+        try:
+            return request.future.result(timeout=timeout)
+        except DeadlineExceededError:
+            raise  # the dispatcher failed it, nothing left to withdraw
+        except (TimeoutError, _FutureTimeout):
+            self._abandon(request)
+            raise
 
     @property
     def stats(self) -> ServiceStats:
@@ -338,7 +421,37 @@ class PredictionService:
                               if k == key or k in self.registry}
         return session
 
+    def _cull(self, batch: list[_PendingRequest]) -> list[_PendingRequest]:
+        """Drop expired and abandoned requests before planning the batch.
+
+        Expired requests fail fast with a typed
+        :class:`DeadlineExceededError`; cancelled futures (a caller's
+        ``predict(timeout=)`` gave up) are skipped silently.  Only the
+        survivors — transitioned to RUNNING so they can no longer be
+        cancelled mid-compute — join the micro-batch.
+        """
+        now = time.perf_counter()
+        live: list[_PendingRequest] = []
+        n_expired = 0
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                n_expired += 1
+                try:
+                    req.future.set_exception(DeadlineExceededError(
+                        req.deadline_s, now - req.submitted_at))
+                except InvalidStateError:
+                    pass  # abandoned concurrently; nothing to report
+            elif req.future.set_running_or_notify_cancel():
+                live.append(req)
+        if n_expired:
+            with self._cond:
+                self._stats.expired += n_expired
+        return live
+
     def _execute(self, batch: list[_PendingRequest]) -> None:
+        batch = self._cull(batch)
+        if not batch:
+            return
         try:
             key, model = batch[0].key, batch[0].model
             session = self._session_for(key, model)
@@ -349,11 +462,26 @@ class PredictionService:
             confounders = [r.confounders for r in batch]
             plan = plan_micro_batch(genotypes, confounders,
                                     session.config.tile_size, batch_rows)
-            t0 = time.perf_counter()
-            parts = session.predict_many(
-                genotypes,
-                None if batch[0].confounders is None else confounders,
-                batch_rows=batch_rows, phase=SERVE_PHASE)
+            retries = 0
+            while True:
+                try:
+                    inject(SITE_SERVE_DISPATCH, str(key))
+                    t0 = time.perf_counter()
+                    parts = session.predict_many(
+                        genotypes,
+                        None if batch[0].confounders is None else confounders,
+                        batch_rows=batch_rows, phase=SERVE_PHASE)
+                    break
+                except Exception as exc:
+                    # transient faults (injected or I/O) re-dispatch the
+                    # whole micro-batch: predict_many is pure, so the
+                    # retried result is bitwise the first-try result
+                    if (retries >= self.config.dispatch_retries
+                            or not is_transient(exc)):
+                        raise
+                    retries += 1
+                    with self._cond:
+                        self._stats.dispatch_retries += 1
             compute_s = time.perf_counter() - t0
             # bound the long-lived session's per-task event log: the
             # service accounts its own counters, the trace is advisory
@@ -367,7 +495,10 @@ class PredictionService:
             with self._cond:
                 self._stats.failures += len(batch)
             for req in batch:
-                req.future.set_exception(exc)
+                try:
+                    req.future.set_exception(exc)
+                except InvalidStateError:  # pragma: no cover - abandon race
+                    pass
             return
 
         done = time.perf_counter()

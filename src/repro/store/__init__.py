@@ -19,12 +19,14 @@ Attach via ``TileMatrix.attach_store`` or, end to end, through
 ``REPRO_STORE_BUDGET`` environment variable.
 """
 
+from repro.resilience.errors import StoreCorruptionError
 from repro.store.hooks import StoreSchedulerHooks
 from repro.store.stats import ResidencyManager, StoreStats
 from repro.store.store import (
     STORE_BUDGET_ENV,
     STORE_DIR_ENV,
     StoreBinding,
+    StoreVerifyReport,
     TileStore,
     parse_bytes,
     resolve_store_budget,
@@ -33,6 +35,8 @@ from repro.store.store import (
 __all__ = [
     "TileStore",
     "StoreBinding",
+    "StoreCorruptionError",
+    "StoreVerifyReport",
     "ResidencyManager",
     "StoreStats",
     "StoreSchedulerHooks",

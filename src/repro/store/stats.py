@@ -44,6 +44,16 @@ class StoreStats:
     budget_overflows:
         Times the store had to exceed the budget because every eviction
         candidate was pinned by an in-flight task.
+    io_retries:
+        Segment reads/writes re-attempted after a transient ``OSError``
+        (each slot I/O gets one immediate retry before failing).
+    crc_failures:
+        Slot reads that failed the integrity check (truncation, CRC32
+        mismatch, undecodable bytes) after retry — each surfaced as a
+        typed :class:`~repro.resilience.errors.StoreCorruptionError`.
+    recovered_spills:
+        Corrupted slots rewritten from a still-resident tile by
+        :meth:`~repro.store.TileStore.verify`.
     """
 
     budget_bytes: int | None = None
@@ -56,6 +66,9 @@ class StoreStats:
     bytes_spilled: int = 0
     bytes_reloaded: int = 0
     budget_overflows: int = 0
+    io_retries: int = 0
+    crc_failures: int = 0
+    recovered_spills: int = 0
 
     def snapshot(self) -> "StoreStats":
         """Point-in-time copy (the live object keeps mutating)."""
@@ -74,6 +87,9 @@ class StoreStats:
             "bytes_spilled": self.bytes_spilled,
             "bytes_reloaded": self.bytes_reloaded,
             "budget_overflows": self.budget_overflows,
+            "io_retries": self.io_retries,
+            "crc_failures": self.crc_failures,
+            "recovered_spills": self.recovered_spills,
         }
 
 

@@ -36,14 +36,23 @@ import shutil
 import tempfile
 import threading
 import weakref
+import zlib
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.precision.formats import Precision
+from repro.resilience.errors import StoreCorruptionError
+from repro.resilience.faults import (
+    SITE_CORRUPT_READ,
+    SITE_SEGMENT_READ,
+    SITE_SEGMENT_WRITE,
+    SITE_SLOW_READ,
+    active_plan,
+)
 from repro.store.stats import ResidencyManager, StoreStats
 from repro.tiles.serialize import decode_payload, encode_payload
 from repro.tiles.tile import Tile
@@ -54,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TileStore",
     "StoreBinding",
+    "StoreCorruptionError",
+    "StoreVerifyReport",
     "TileDep",
     "STORE_BUDGET_ENV",
     "STORE_DIR_ENV",
@@ -117,6 +128,10 @@ class _Segment:
 
     def write(self, data: bytes, offset: int | None = None) -> int:
         """Write ``data`` (at ``offset``, or appended); returns its offset."""
+        plan = active_plan()
+        if plan is not None:
+            # fires before any state mutation so a retried write is clean
+            plan.inject(SITE_SEGMENT_WRITE, str(self.path))
         f = self._ensure_file()
         if offset is None:
             offset = self.size
@@ -127,12 +142,28 @@ class _Segment:
         return offset
 
     def read(self, offset: int, length: int) -> bytes:
-        """Read a slot through the (lazily refreshed) memory map."""
+        """Read a slot through the (lazily refreshed) memory map.
+
+        May return *short* bytes when the file is truncated on disk —
+        the caller's integrity check turns that into a typed corruption
+        error (mapping past EOF would be a SIGBUS instead).  Missing or
+        unreadable files surface as ``OSError``.
+        """
+        plan = active_plan()
+        if plan is not None:
+            plan.inject(SITE_SLOW_READ, str(self.path))
+            plan.inject(SITE_SEGMENT_READ, str(self.path))
         if self._file is not None:
             self._file.flush()
+        size = os.path.getsize(self.path)
+        if size < offset + length:
+            return b""  # truncated segment: short read, caller verifies
         if self._mmap is None or self._mmap.shape[0] < offset + length:
             self._mmap = np.memmap(self.path, dtype=np.uint8, mode="r")
-        return bytes(self._mmap[offset:offset + length])
+        buf = bytes(self._mmap[offset:offset + length])
+        if plan is not None:
+            buf = plan.corrupt(SITE_CORRUPT_READ, buf, str(self.path))
+        return buf
 
     def close(self) -> None:
         self._mmap = None
@@ -151,8 +182,23 @@ class _Slot:
     dtype: str
     shape: tuple[int, ...]
     precision: Precision
+    #: CRC32 of the slot's bytes, verified on every reload/prefetch.
+    crc: int = 0
     #: Bindings referencing this slot; in-place overwrite requires 1.
     owners: int = 1
+
+
+@dataclass(frozen=True)
+class StoreVerifyReport:
+    """Outcome of a :meth:`TileStore.verify` scrub."""
+
+    slots_checked: int = 0
+    recovered: int = 0
+    errors: tuple[StoreCorruptionError, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
 
 
 # ----------------------------------------------------------------------
@@ -187,6 +233,7 @@ class StoreBinding:
     def _write_slot(self, key: tuple[int, int], raw: np.ndarray,
                     precision: Precision) -> _Slot:
         data = raw.tobytes()
+        crc = zlib.crc32(data)
         old = self.index.get(key)
         offset = None
         segment = self._own_segment()
@@ -195,16 +242,72 @@ class StoreBinding:
             offset = old.offset  # in-place reuse: no file growth
         elif old is not None:
             old.owners -= 1
-        offset = segment.write(data, offset)
+        try:
+            offset = segment.write(data, offset)
+        except OSError:
+            # one immediate retry absorbs transient I/O hiccups; a
+            # second failure is a real storage problem and propagates
+            self.store.residency.stats.io_retries += 1
+            offset = segment.write(data, offset)
         slot = _Slot(segment=segment, offset=offset, length=len(data),
                      dtype=raw.dtype.str, shape=tuple(raw.shape),
-                     precision=precision)
+                     precision=precision, crc=crc)
         self.index[key] = slot
         return slot
 
-    def _read_slot(self, slot: _Slot) -> np.ndarray:
-        buf = slot.segment.read(slot.offset, slot.length)
-        return np.frombuffer(buf, dtype=slot.dtype).reshape(slot.shape)
+    def _describe(self) -> str:
+        m = self.matrix()
+        if m is None:
+            return f"store binding {self.bid} (matrix collected)"
+        layout = getattr(m, "layout", None)
+        if layout is not None:
+            return (f"store binding {self.bid} "
+                    f"({layout.rows}x{layout.cols} matrix)")
+        return f"store binding {self.bid}"
+
+    def _corruption(self, key: tuple[int, int], slot: _Slot,
+                    reason: str) -> StoreCorruptionError:
+        self.store.residency.stats.crc_failures += 1
+        return StoreCorruptionError(
+            matrix=self._describe(), coords=key, precision=slot.precision,
+            path=slot.segment.path, reason=reason)
+
+    def _read_slot(self, slot: _Slot,
+                   key: tuple[int, int] = (-1, -1)) -> np.ndarray:
+        """Read and *verify* a slot's bytes (one transient-fault retry).
+
+        Every reload path — demand fault-in, prefetch, detach, verify —
+        funnels through here, so no corrupted byte ever reaches a tile
+        payload: length and CRC32 are checked against the offset index
+        and a mismatch raises a typed :class:`StoreCorruptionError`
+        naming the tile instead of an opaque reshape crash.
+        """
+        last_reason = "unreadable slot"
+        for attempt in range(2):
+            if attempt:
+                self.store.residency.stats.io_retries += 1
+            try:
+                buf = slot.segment.read(slot.offset, slot.length)
+            except OSError as exc:
+                last_reason = f"segment read failed: {exc}"
+                continue
+            if len(buf) != slot.length:
+                last_reason = (f"truncated slot: got {len(buf)} of "
+                               f"{slot.length} bytes")
+                continue
+            if zlib.crc32(buf) != slot.crc:
+                last_reason = "checksum mismatch (corrupted bytes)"
+                continue
+            return np.frombuffer(buf, dtype=slot.dtype).reshape(slot.shape)
+        raise self._corruption(key, slot, last_reason)
+
+    def _decode_slot(self, slot: _Slot, key: tuple[int, int]) -> np.ndarray:
+        raw = self._read_slot(slot, key)
+        try:
+            return decode_payload(raw, slot.precision)
+        except Exception as exc:
+            raise self._corruption(
+                key, slot, f"undecodable payload: {exc}") from exc
 
     def note_use(self, key: tuple[int, int]) -> None:
         """Recency bump for a resident read (lock-free, see stats.py)."""
@@ -243,7 +346,7 @@ class StoreBinding:
             tile = Tile(np.zeros(shape), precision=m.default_precision,
                         coords=key)
         else:
-            payload = decode_payload(self._read_slot(slot), slot.precision)
+            payload = self._decode_slot(slot, key)
             tile = Tile(payload, precision=slot.precision, coords=key)
             stats.reloads += 1
             stats.bytes_reloaded += slot.length
@@ -387,8 +490,7 @@ class StoreBinding:
                         resident = key in m._tiles
                     if not resident:
                         slot = self.index[key]
-                        payload = decode_payload(self._read_slot(slot),
-                                                 slot.precision)
+                        payload = self._decode_slot(slot, key)
                         with m._grid_lock:
                             m._tiles[key] = Tile(payload,
                                                  precision=slot.precision,
@@ -606,6 +708,49 @@ class TileStore:
                     self._evict_one(entry)
 
     # ------------------------------------------------------------------
+    # integrity scrub
+    # ------------------------------------------------------------------
+    def verify(self, repair: bool = True) -> StoreVerifyReport:
+        """Scrub every spill slot against its recorded CRC32.
+
+        With ``repair`` (the default), a corrupted slot whose tile is
+        still resident is transparently re-spilled from the resident
+        payload — the crash-recovery move for slots dirtied by a torn
+        write or bit rot while the good copy is still in memory.  Slots
+        with no resident copy cannot be repaired; their typed errors
+        are returned in the report (``verify`` scrubs everything rather
+        than raising at the first hit).
+        """
+        with self._lock:
+            checked = recovered = 0
+            errors: list[StoreCorruptionError] = []
+            for binding in list(self._bindings.values()):
+                m = binding.matrix()
+                for key, slot in list(binding.index.items()):
+                    checked += 1
+                    try:
+                        binding._read_slot(slot, key)
+                        continue
+                    except StoreCorruptionError as exc:
+                        error = exc
+                    tile = None
+                    if m is not None:
+                        with m._grid_lock:
+                            tile = m._tiles.get(key)
+                    if repair and tile is not None:
+                        raw = encode_payload(tile.data, tile.precision)
+                        binding._write_slot(key, np.ascontiguousarray(raw),
+                                            tile.precision)
+                        binding.clean.add(key)
+                        recovered += 1
+                        self.residency.stats.recovered_spills += 1
+                    else:
+                        errors.append(error)
+            return StoreVerifyReport(slots_checked=checked,
+                                     recovered=recovered,
+                                     errors=tuple(errors))
+
+    # ------------------------------------------------------------------
     # scheduler integration: pins and prefetch
     # ------------------------------------------------------------------
     def pin(self, deps: Iterable[TileDep]) -> None:
@@ -665,7 +810,7 @@ class TileStore:
             if slot is None or not self.residency.would_fit(slot.length):
                 return
         # I/O + decode with the lock released
-        payload = decode_payload(binding._read_slot(slot), slot.precision)
+        payload = binding._decode_slot(slot, key)
         tile = Tile(payload, precision=slot.precision, coords=key)
         with self._lock:
             if self._closed or binding.bid not in self._bindings:

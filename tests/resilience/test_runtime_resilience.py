@@ -1,0 +1,273 @@
+"""Fault-tolerant runtime semantics: retry, aggregate failure, resume.
+
+Pins the scheduler-level contract of ISSUE 6: transient faults are
+retried with bounded backoff and full accounting; permanent faults
+surface *all* failed tasks as one :class:`TaskGroupError`; a failed
+``run()`` leaves completed tasks done and a follow-up ``run()``
+re-drains only the unfinished subgraph.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultSite,
+    InjectedFault,
+    RetryPolicy,
+    TaskGroupError,
+    TaskTimeoutError,
+)
+from repro.resilience.faults import (
+    SITE_TASK_BODY,
+    SITE_WORKER_STALL,
+    clear_plan,
+    fault_plan,
+)
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import AccessMode
+
+EXECUTIONS = ("serial", "threaded")
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan_state(monkeypatch):
+    """Isolate from any suite-wide chaos env (the tier1-chaos CI job)."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+def transient_plan(**site_kwargs):
+    return FaultPlan([FaultSite(site=SITE_TASK_BODY, **site_kwargs)], seed=1)
+
+
+class TestRetry:
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_transient_fault_retried_to_success(self, execution):
+        rt = Runtime(execution=execution, workers=2, task_retries=2)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        for _ in range(8):
+            rt.insert_task("double", (a, AccessMode.READWRITE),
+                           body=lambda x: x * 2, flops=1)
+        # occurrences advance per *attempt*: faults land on the 3rd and
+        # 5th task (their retries consume occurrences 4 and 7)
+        with fault_plan(transient_plan(every=3, times=2)) as plan:
+            result = rt.run()
+        np.testing.assert_array_equal(a.payload, [256.0])
+        assert plan.fired == 2
+        assert result.trace.total_retries == 2
+        assert sum(e.retries for e in result.trace.events) == 2
+
+    def test_retry_accounting_lands_on_the_retried_task(self):
+        rt = Runtime(execution="serial", task_retries=1)
+        a = rt.register_data("a", payload=np.array([0.0]))
+        rt.insert_task("ok", (a, AccessMode.READWRITE),
+                       body=lambda x: x + 1, flops=1)
+        rt.insert_task("flaky", (a, AccessMode.READWRITE),
+                       body=lambda x: x + 1, flops=1)
+        plan = FaultPlan([FaultSite(site=SITE_TASK_BODY, match="flaky",
+                                    times=1)])
+        with fault_plan(plan):
+            result = rt.run()
+        retries = {e.task_name: e.retries for e in result.trace.events}
+        assert retries == {"ok": 0, "flaky": 1}
+
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_retries_exhausted_surface_aggregate(self, execution):
+        rt = Runtime(execution=execution, workers=2, task_retries=1)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("doomed", (a, AccessMode.READWRITE),
+                       body=lambda x: x, flops=1)
+        with fault_plan(transient_plan(every=1)):  # fires on every attempt
+            with pytest.raises(TaskGroupError) as err:
+                rt.run()
+        (failure,) = err.value.failures
+        assert failure.task.name == "doomed"
+        assert failure.retries == 1  # the policy's budget was spent
+        assert isinstance(failure.error, InjectedFault)
+        assert err.value.transient
+
+    def test_permanent_fault_not_retried(self):
+        rt = Runtime(execution="serial", task_retries=5)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("t", (a, AccessMode.READWRITE), body=lambda x: x,
+                       flops=1)
+        plan = transient_plan(every=1, transient=False)
+        with fault_plan(plan):
+            with pytest.raises(TaskGroupError) as err:
+                rt.run()
+        assert plan.fired == 1  # one attempt, no retries burned
+        assert err.value.failures[0].retries == 0
+        assert not err.value.transient
+
+    def test_retry_policy_object_wins_over_task_retries(self):
+        rt = Runtime(execution="serial", task_retries=0,
+                     retry_policy=RetryPolicy(max_retries=3, base_delay_s=0.0))
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("t", (a, AccessMode.READWRITE),
+                       body=lambda x: x + 1, flops=1)
+        with fault_plan(transient_plan(times=3)):
+            result = rt.run()
+        assert result.trace.total_retries == 3
+
+    def test_default_is_fail_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+        rt = Runtime(execution="serial")
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("t", (a, AccessMode.READWRITE), body=lambda x: x,
+                       flops=1)
+        with fault_plan(transient_plan(times=1)):
+            with pytest.raises(TaskGroupError):
+                rt.run()
+
+
+class TestAggregateFailures:
+    @pytest.mark.parametrize("execution", EXECUTIONS + ("simulated",))
+    def test_every_independent_failure_reported(self, execution):
+        """The drain keeps going past a failure and reports all of them."""
+        rt = Runtime(execution=execution, workers=4)
+        handles = [rt.register_data(f"h{i}", payload=np.array([float(i)]))
+                   for i in range(6)]
+        for i, h in enumerate(handles):
+            rt.insert_task(f"task{i}", (h, AccessMode.READWRITE),
+                           body=lambda x: x + 1, flops=1)
+        plan = FaultPlan([
+            FaultSite(site=SITE_TASK_BODY, match="task1", transient=False),
+            FaultSite(site=SITE_TASK_BODY, match="task4", transient=False),
+        ])
+        with fault_plan(plan):
+            with pytest.raises(TaskGroupError) as err:
+                rt.run()
+        assert sorted(f.task.name for f in err.value.failures) == \
+            ["task1", "task4"]
+        assert len(err.value.completed) == 4
+        # the four independent tasks still ran
+        for i in (0, 2, 3, 5):
+            np.testing.assert_array_equal(handles[i].payload, [i + 1.0])
+
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_successors_of_a_failed_task_do_not_run(self, execution):
+        rt = Runtime(execution=execution, workers=2)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("parent", (a, AccessMode.READWRITE),
+                       body=lambda x: x, flops=1)
+        rt.insert_task("child", (a, AccessMode.READWRITE),
+                       body=lambda x: x * 100, flops=1)
+        plan = FaultPlan([FaultSite(site=SITE_TASK_BODY, match="parent",
+                                    transient=False)])
+        with fault_plan(plan):
+            with pytest.raises(TaskGroupError) as err:
+                rt.run()
+        assert [f.task.name for f in err.value.failures] == ["parent"]
+        assert [t.name for t in err.value.unfinished] == ["parent", "child"]
+        np.testing.assert_array_equal(a.payload, [1.0])  # child never ran
+
+
+class TestResume:
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_followup_run_drains_only_the_unfinished_subgraph(self, execution):
+        rt = Runtime(execution=execution, workers=2)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        b = rt.register_data("b", payload=np.array([10.0]))
+        ran: list[str] = []
+
+        def body_of(name, fn):
+            def body(*payloads):
+                ran.append(name)
+                return fn(*payloads)
+            return body
+
+        # chain on a (a1 -> a2 -> a3), independent task on b
+        rt.insert_task("a1", (a, AccessMode.READWRITE),
+                       body=body_of("a1", lambda x: x + 1), flops=1)
+        rt.insert_task("a2", (a, AccessMode.READWRITE),
+                       body=body_of("a2", lambda x: x * 2), flops=1)
+        rt.insert_task("a3", (a, AccessMode.READWRITE),
+                       body=body_of("a3", lambda x: x + 3), flops=1)
+        rt.insert_task("bside", (b, AccessMode.READWRITE),
+                       body=body_of("bside", lambda x: x * 10), flops=1)
+
+        plan = FaultPlan([FaultSite(site=SITE_TASK_BODY, match="a2",
+                                    transient=False, times=1)])
+        with fault_plan(plan):
+            with pytest.raises(TaskGroupError) as err:
+                rt.run()
+
+        assert {t.name for t in err.value.completed} >= {"a1"}
+        assert [t.name for t in err.value.unfinished][:2] == ["a2", "a3"]
+        # the runtime's graph now holds exactly the unfinished subgraph
+        assert rt.num_tasks() == len(err.value.unfinished)
+
+        before = list(ran)
+        result = rt.run()  # plan exhausted (times=1): drains to completion
+        assert [n for n in ran[len(before):]] == ["a2", "a3"]  # no re-runs
+        np.testing.assert_array_equal(a.payload, [7.0])   # (1+1)*2+3
+        np.testing.assert_array_equal(b.payload, [100.0])
+        assert result.trace.num_tasks == len(before) and rt.num_tasks() == 0
+
+    def test_resumed_result_matches_unfailed_run(self):
+        """Failure + resume converges to the same payloads as no failure."""
+        def build(rt):
+            a = rt.register_data("a", payload=np.arange(4.0))
+            rt.insert_task("scale", (a, AccessMode.READWRITE),
+                           body=lambda x: x * 3, flops=1)
+            rt.insert_task("shift", (a, AccessMode.READWRITE),
+                           body=lambda x: x - 1, flops=1)
+            return a
+
+        clean_rt = Runtime(execution="serial")
+        expected = build(clean_rt)
+        clean_rt.run()
+
+        rt = Runtime(execution="serial")
+        a = build(rt)
+        plan = FaultPlan([FaultSite(site=SITE_TASK_BODY, match="shift",
+                                    transient=False, times=1)])
+        with fault_plan(plan):
+            with pytest.raises(TaskGroupError):
+                rt.run()
+        rt.run()
+        np.testing.assert_array_equal(a.payload, expected.payload)
+
+
+class TestWatchdog:
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_overdue_task_fails_typed_without_hanging(self, execution):
+        rt = Runtime(execution=execution, workers=2, task_timeout_s=0.05)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        b = rt.register_data("b", payload=np.array([2.0]))
+
+        def slow(x):
+            time.sleep(0.4)
+            return x
+
+        rt.insert_task("stuck", (a, AccessMode.READWRITE), body=slow, flops=1)
+        rt.insert_task("fine", (b, AccessMode.READWRITE),
+                       body=lambda x: x + 1, flops=1)
+        t0 = time.perf_counter()
+        with pytest.raises(TaskGroupError) as err:
+            rt.run()
+        assert time.perf_counter() - t0 < 5.0  # no hang
+        assert err.value.matches(TaskTimeoutError)
+        (failure,) = err.value.failures
+        assert failure.task.name == "stuck"
+        assert failure.error.timeout_s == pytest.approx(0.05)
+        assert failure.error.elapsed_s >= 0.05
+        np.testing.assert_array_equal(b.payload, [3.0])
+
+    def test_worker_stall_under_timeout_is_harmless(self):
+        rt = Runtime(execution="threaded", workers=2, task_timeout_s=5.0)
+        a = rt.register_data("a", payload=np.array([1.0]))
+        rt.insert_task("t", (a, AccessMode.READWRITE),
+                       body=lambda x: x + 1, flops=1)
+        plan = FaultPlan([FaultSite(site=SITE_WORKER_STALL, kind="stall",
+                                    delay_s=0.02)])
+        with fault_plan(plan):
+            rt.run()
+        assert plan.fired == 1
+        np.testing.assert_array_equal(a.payload, [2.0])

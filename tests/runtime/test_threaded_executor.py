@@ -99,16 +99,25 @@ class TestDependencyOrderingUnderConcurrency:
         assert {e.device for e in result.trace.events} == {0, 1, 2, 3}
 
     def test_exceptions_propagate_from_worker_threads(self):
+        from repro.runtime import TaskGroupError
+
         rt = Runtime(execution="threaded", workers=4)
         h = rt.register_data("x", payload=-np.eye(4))
         rt.insert_task("potrf", (h, AccessMode.READWRITE),
                        body=np.linalg.cholesky)
         rt.insert_task("never", (h, AccessMode.READWRITE),
                        body=lambda a: a)
-        with pytest.raises(np.linalg.LinAlgError):
+        with pytest.raises(TaskGroupError) as excinfo:
             rt.run()
-        # the failed run still drained the pending graph
-        assert rt.num_tasks() == 0
+        # the aggregate error carries every failure with task context
+        exc = excinfo.value
+        assert exc.matches(np.linalg.LinAlgError)
+        assert [f.task.name for f in exc.failures] == ["potrf"]
+        assert "potrf" in str(exc)
+        # both the failed task and the successor it blocked are parked
+        # as the pending graph, ready for a resumed run()
+        assert rt.num_tasks() == 2
+        assert [t.name for t in rt.graph.tasks] == ["potrf", "never"]
 
     def test_diamond_dependencies(self):
         """fan-out/fan-in: both branches read the source, the sink reads
