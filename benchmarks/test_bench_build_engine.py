@@ -11,14 +11,13 @@ have a perf trajectory to compare against.
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from conftest import run_once
+from conftest import effective_cpu_count, run_once
 
 from repro.distance.build import KernelBuilder
 from repro.distance.euclidean import squared_norms
@@ -38,6 +37,7 @@ _RESULT_FILE = _REPO_ROOT / "BENCH_build.json"
 #: computed once, shared across the worker-count parameterization
 _SEED_CACHE: dict = {}
 _ENGINE_RESULTS: dict = {}
+_PROCESS_RESULTS: dict = {}
 
 
 _INT32_INFO = np.iinfo(np.int32)
@@ -109,6 +109,32 @@ def _seed_reference():
     return _SEED_CACHE
 
 
+def _write_payload(seed_seconds: float, flops: float, tile_bytes: int,
+                   max_dense_temp_elements: int) -> None:
+    """(Re)write BENCH_build.json with every row accumulated so far."""
+    payload = {
+        "n": N,
+        "ns": NS,
+        "tile_size": TILE,
+        "snp_block": SNP_BLOCK,
+        "cpu_count": effective_cpu_count(),
+        "seed_seconds": round(seed_seconds, 4),
+        "seed_gflops": round(flops / seed_seconds / 1e9, 2),
+        "seed_peak_memory_estimate_bytes":
+            # dense FP64 staging + re-tiled FP32 lower triangle
+            N * N * 8 + tile_bytes,
+        "engine_by_workers": {
+            w: _ENGINE_RESULTS[w] for w in sorted(_ENGINE_RESULTS)
+        },
+        "process_by_workers": {
+            w: _PROCESS_RESULTS[w] for w in sorted(_PROCESS_RESULTS)
+        },
+        "max_dense_temp_elements": max_dense_temp_elements,
+        "bitwise_identical": True,
+    }
+    _RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_bench_build_engine(benchmark, workers):
     seed = _seed_reference()
@@ -137,28 +163,13 @@ def test_bench_build_engine(benchmark, workers):
             tile_bytes + (1 if stats.workers == 1 else stats.workers * 4) * 3
             * stats.max_dense_temp_elements * 8,
     }
-    payload = {
-        "n": N,
-        "ns": NS,
-        "tile_size": TILE,
-        "snp_block": SNP_BLOCK,
-        "cpu_count": os.cpu_count() or 1,
-        "seed_seconds": round(seed_seconds, 4),
-        "seed_gflops": round(flops / seed_seconds / 1e9, 2),
-        "seed_peak_memory_estimate_bytes":
-            # dense FP64 staging + re-tiled FP32 lower triangle
-            N * N * 8 + tile_bytes,
-        "engine_by_workers": {
-            w: _ENGINE_RESULTS[w] for w in sorted(_ENGINE_RESULTS)
-        },
-        "max_dense_temp_elements": stats.max_dense_temp_elements,
-        "bitwise_identical": True,
-    }
-    _RESULT_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    _write_payload(seed_seconds, flops, tile_bytes,
+                   stats.max_dense_temp_elements)
 
     print(f"\n=== Build engine: seed path vs BLAS-backed engine "
           f"(workers={workers}) ===")
-    print(f"seed   : {seed_seconds:8.2f} s  ({payload['seed_gflops']:8.2f} GF/s)")
+    print(f"seed   : {seed_seconds:8.2f} s  "
+          f"({flops / seed_seconds / 1e9:8.2f} GF/s)")
     print(f"engine : {engine_seconds:8.2f} s  "
           f"({_ENGINE_RESULTS[str(workers)]['engine_gflops']:8.2f} GF/s)")
     print(f"speedup: {speedup:.2f}x (written to {_RESULT_FILE.name})")
@@ -167,7 +178,7 @@ def test_bench_build_engine(benchmark, workers):
     # single-core host) pay GIL/cache contention with nothing to
     # overlap on; the seed-vs-engine contrast is still the signal, so
     # the bar drops but never disappears.
-    cpu_count = os.cpu_count() or 1
+    cpu_count = effective_cpu_count()
     floor = 10.0 if (cpu_count >= 2 or workers <= cpu_count) else 4.0
     assert speedup >= floor, (
         f"BLAS-backed Build must be >= {floor:.0f}x the seed path at "
@@ -176,3 +187,59 @@ def test_bench_build_engine(benchmark, workers):
     # the streamed build must not have staged a dense FP64 matrix
     assert stats.dense_staging_elements == 0
     assert stats.max_dense_temp_elements <= TILE * N
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_build_engine_process(workers):
+    """Process (GIL-free) backend rows of the Build benchmark.
+
+    Timed with a plain ``perf_counter`` (one deterministic run, like
+    the seed side) against the same cached seed reference; bitwise
+    equality is asserted unconditionally, the wall-clock speedup over
+    the *serial* drain only when real cores back the pool.
+    """
+    from repro.runtime.runtime import Runtime
+
+    seed = _seed_reference()
+    genotypes, seed_seconds = seed["genotypes"], seed["seconds"]
+
+    rt = Runtime(execution="process", workers=workers)
+    try:
+        builder = KernelBuilder(gamma=GAMMA, tile_size=TILE,
+                                snp_block=SNP_BLOCK,
+                                storage_precision=Precision.FP32,
+                                runtime=rt)
+        t0 = time.perf_counter()
+        engine_result = builder.build_training(genotypes)
+        engine_seconds = time.perf_counter() - t0
+    finally:
+        rt.close()
+
+    np.testing.assert_array_equal(engine_result.to_dense(), seed["dense"])
+
+    flops = 2.0 * N * N * NS
+    stats = engine_result.stats
+    speedup = seed_seconds / engine_seconds
+    _PROCESS_RESULTS[str(workers)] = {
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(speedup, 2),
+        "engine_gflops": round(flops / engine_seconds / 1e9, 2),
+        "engine_workers": stats.workers,
+    }
+    _write_payload(seed_seconds, flops, seed["tile_bytes"],
+                   stats.max_dense_temp_elements)
+
+    print(f"\n=== Build engine: process backend (workers={workers}) ===")
+    print(f"seed    : {seed_seconds:8.2f} s")
+    print(f"process : {engine_seconds:8.2f} s  ({speedup:.2f}x, "
+          f"written to {_RESULT_FILE.name})")
+
+    # Process workers pay real IPC (descriptor pickling, payload
+    # segments) that only overlapping cores can amortize; without them
+    # the bitwise contract above is the whole test.
+    if effective_cpu_count() >= 4:
+        assert speedup >= 4.0, (
+            f"process-backend Build must be >= 4x the seed path at "
+            f"workers={workers} on a multi-core host, got {speedup:.2f}x"
+        )
+    assert stats.dense_staging_elements == 0

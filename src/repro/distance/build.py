@@ -49,6 +49,11 @@ from repro.precision.gemm import (
     integer_gemm_dtype,
     variant_for_input,
 )
+from repro.parallel.descriptors import (
+    BuildRowSpec,
+    ObjectInput,
+    ProcessTaskSpec,
+)
 from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime, resolve_execution, resolve_workers
 from repro.runtime.task import AccessMode
@@ -144,6 +149,52 @@ class _OperandContext:
     snp_variant: object
     conf_variant: object
     fuse_snp_blocks: bool
+
+
+def compute_kernel_rows(ctx: _OperandContext, gamma: float, snp_block: int,
+                        rs: slice, cs: slice) -> np.ndarray:
+    """Dense Gaussian-kernel block for rows ``rs`` × columns ``cs``.
+
+    Module-level (rather than a :class:`KernelBuilder` method) so the
+    process backend's ``BuildRowSpec`` descriptor can name it with only
+    scalar parameters: a worker receives the pickled operand context
+    and recomputes the exact fused Gram/distance/exponentiation
+    pipeline the in-process path runs — the INT8 Gram is exact integer
+    arithmetic and the elementwise assembly is per-element, so results
+    are bitwise identical for any row batching and any executor.
+    """
+    mb = rs.stop - rs.start
+    nb = cs.stop - cs.start
+    # --- integer (SNP) Gram contribution, blocked over SNPs
+    if ctx.fuse_snp_blocks:
+        gram = np.asarray(
+            gemm_mixed(ctx.q1[rs, :], ctx.q2[cs, :],
+                       variant=ctx.snp_variant, transb=True),
+            dtype=np.float64,
+        )
+    else:
+        gram = np.zeros((mb, nb), dtype=np.float64)
+        for s0 in range(0, ctx.ns, snp_block):
+            s1 = min(s0 + snp_block, ctx.ns)
+            gram += np.asarray(
+                gemm_mixed(ctx.q1[rs, s0:s1], ctx.q2[cs, s0:s1],
+                           variant=ctx.snp_variant, transb=True),
+                dtype=np.float64,
+            )
+    dist = ctx.d1[rs, None] + ctx.d2[None, cs] - 2.0 * gram
+
+    # --- confounder FP32 contribution accumulated separately
+    if ctx.qc1 is not None and ctx.n_conf > 0:
+        gram_c = np.asarray(
+            gemm_mixed(ctx.qc1[rs, :], ctx.qc2[cs, :],
+                       variant=ctx.conf_variant, transb=True),
+            dtype=np.float64,
+        )
+        dist += ctx.e1[rs, None] + ctx.e2[None, cs] - 2.0 * gram_c
+
+    np.maximum(dist, 0.0, out=dist)
+    # fused exponentiation before the row block is released
+    return gaussian_kernel(dist, gamma)
 
 
 @dataclass
@@ -534,38 +585,7 @@ class KernelBuilder:
         the INT8 Gram is exact integer arithmetic, so any batching of
         rows produces the same values bit for bit.
         """
-        mb = rs.stop - rs.start
-        nb = cs.stop - cs.start
-        # --- integer (SNP) Gram contribution, blocked over SNPs
-        if ctx.fuse_snp_blocks:
-            gram = np.asarray(
-                gemm_mixed(ctx.q1[rs, :], ctx.q2[cs, :],
-                           variant=ctx.snp_variant, transb=True),
-                dtype=np.float64,
-            )
-        else:
-            gram = np.zeros((mb, nb), dtype=np.float64)
-            for s0 in range(0, ctx.ns, self.snp_block):
-                s1 = min(s0 + self.snp_block, ctx.ns)
-                gram += np.asarray(
-                    gemm_mixed(ctx.q1[rs, s0:s1], ctx.q2[cs, s0:s1],
-                               variant=ctx.snp_variant, transb=True),
-                    dtype=np.float64,
-                )
-        dist = ctx.d1[rs, None] + ctx.d2[None, cs] - 2.0 * gram
-
-        # --- confounder FP32 contribution accumulated separately
-        if ctx.qc1 is not None and ctx.n_conf > 0:
-            gram_c = np.asarray(
-                gemm_mixed(ctx.qc1[rs, :], ctx.qc2[cs, :],
-                           variant=ctx.conf_variant, transb=True),
-                dtype=np.float64,
-            )
-            dist += ctx.e1[rs, None] + ctx.e2[None, cs] - 2.0 * gram_c
-
-        np.maximum(dist, 0.0, out=dist)
-        # fused exponentiation before the row block is released
-        return gaussian_kernel(dist, self.gamma)
+        return compute_kernel_rows(ctx, self.gamma, self.snp_block, rs, cs)
 
     def _block_flops(self, ctx: _OperandContext, mb: int, nb: int,
                      by_prec: dict[Precision, float] | None = None
@@ -655,7 +675,8 @@ class KernelBuilder:
         if rt is None:
             rt = Runtime(execution=resolve_execution(self.execution),
                          workers=resolve_workers(self.workers))
-        stats.workers = rt.workers if rt.execution == "threaded" else 1
+        stats.workers = (rt.workers
+                         if rt.execution in ("threaded", "process") else 1)
         stats.tile_tasks = layout.tile_rows
 
         rt.require_drained("KernelBuilder streaming")
@@ -710,6 +731,12 @@ class KernelBuilder:
                 body=make_row_body(bi, rs, col_end),
                 flops=row_flops, precision=self.snp_precision,
                 flops_detail=row_detail, tag=bi,
+                pspec=ProcessTaskSpec(
+                    BuildRowSpec(gamma=self.gamma, snp_block=self.snp_block,
+                                 row_start=rs.start, row_stop=rs.stop,
+                                 col_end=col_end),
+                    mode="aux",
+                    aux=(ObjectInput(ctx, key=f"{ns}operands"),)),
             )
             rt.insert_task(
                 "consume_row",

@@ -202,7 +202,7 @@ class PrecisionPlan(_WithOptionsMixin):
 #: Execution modes accepted by the session configs (mirrors
 #: :data:`repro.runtime.scheduler.EXECUTION_MODES`, kept literal here so
 #: config validation does not import the runtime package).
-_EXECUTION_MODES = ("threaded", "serial", "simulated")
+_EXECUTION_MODES = ("threaded", "serial", "simulated", "process")
 
 
 def _validate_execution_knobs(cfg) -> None:
@@ -242,7 +242,8 @@ class RRConfig(_WithOptionsMixin):
         through ``REPRO_WORKERS`` and then ``min(8, cpu_count)``).
     execution:
         Execution mode of the session's task runtime: ``"threaded"``
-        (default), ``"serial"`` or ``"simulated"``; ``None`` resolves
+        (default), ``"process"`` (GIL-free worker processes),
+        ``"serial"`` or ``"simulated"``; ``None`` resolves
         ``REPRO_EXECUTION``.
     task_retries:
         Transient-failure retries per task (capped exponential backoff
@@ -302,9 +303,11 @@ class KRRConfig(_WithOptionsMixin):
         environment variable and then ``min(8, cpu_count)``.
     execution:
         Execution mode of the session's task runtime: ``"threaded"``
-        (default — real out-of-order DAG execution), ``"serial"`` (the
-        bitwise-identical reference drain) or ``"simulated"`` (the
-        device-timing model); ``None`` resolves ``REPRO_EXECUTION``.
+        (default — real out-of-order DAG execution), ``"process"``
+        (GIL-free worker OS processes with shared-memory tile
+        exchange), ``"serial"`` (the bitwise-identical reference
+        drain) or ``"simulated"`` (the device-timing model); ``None``
+        resolves ``REPRO_EXECUTION``.
     build_workers:
         **Deprecated** — the historical Build-only thread knob.  Still
         honoured (it seeds ``workers`` when that is unset) with a

@@ -160,6 +160,12 @@ def gemm(
         k = ashape[0] if transa else ashape[1]
         total = (float(sum(flops_detail.values())) if flops_detail
                  else 2.0 * m * n * k)
+        from repro.parallel.descriptors import (
+            DenseGemmSpec,
+            ObjectInput,
+            ProcessTaskSpec,
+        )
+
         ns = runtime.namespace("gemm")
         out_h = runtime.register_data(f"{ns}C", shape=(m, n),
                                       precision=precision)
@@ -170,6 +176,11 @@ def gemm(
                                    transa=transa, transb=transb),
             flops=total, precision=precision,
             flops_detail=flops_detail,
+            pspec=ProcessTaskSpec(
+                DenseGemmSpec(tile_size, precision, transa, transb),
+                mode="aux",
+                aux=(ObjectInput(a, key=f"{ns}a"),
+                     ObjectInput(b, key=f"{ns}b"))),
         )
         try:
             runtime.run(phase=phase)

@@ -46,6 +46,14 @@ from repro.linalg.kernels import (
     tile_trsm,
     trsm_flops,
 )
+from repro.parallel.descriptors import (
+    GemmTrailSpec,
+    PotrfSpec,
+    ProcessTaskSpec,
+    SyrkSpec,
+    TileInput,
+    TrsmSpec,
+)
 from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime
 from repro.runtime.task import AccessMode
@@ -371,6 +379,7 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
             "potrf", (hkk, AccessMode.READWRITE), body=potrf_body,
             flops=potrf_flops(nbk), precision=wp, priority=nt - k + 10,
             tag=(k, k, k),
+            pspec=ProcessTaskSpec(PotrfSpec(wp)),
         )
         _accumulate(result, "potrf", wp, potrf_flops(nbk))
 
@@ -382,6 +391,7 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                 body=make_trsm_body(tile_precision(i, k)),
                 flops=trsm_flops(nb, mb),
                 precision=wp, priority=nt - k + 5, tag=(i, k, k),
+                pspec=ProcessTaskSpec(TrsmSpec(wp, tile_precision(i, k))),
             )
             _accumulate(result, "trsm", wp, trsm_flops(nb, mb))
 
@@ -395,6 +405,7 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                 "syrk", (hik, AccessMode.READ), (hii, AccessMode.READWRITE),
                 body=make_syrk_body(wp, hik.uid), flops=syrk_flops(nbi, kbk),
                 precision=wp, tag=(i, i, k),
+                pspec=ProcessTaskSpec(SyrkSpec(wp, hik.uid)),
             )
             _accumulate(result, "syrk", wp, syrk_flops(nbi, kbk))
             for j in range(k + 1, i):
@@ -410,6 +421,8 @@ def _cholesky_runtime(tiled: TileMatrix, nt: int, wp: Precision,
                     body=make_gemm_body(p_ij, hik.uid, hjk.uid),
                     flops=gemm_flops(mb, nb, kbk),
                     precision=p_ij, tag=(i, j, k),
+                    pspec=ProcessTaskSpec(
+                        GemmTrailSpec(p_ij, hik.uid, hjk.uid)),
                 )
                 _accumulate(result, "gemm", p_ij, gemm_flops(mb, nb, kbk))
 
@@ -552,6 +565,15 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
             tiled.set_tile(i, j, out, precision=p)
         return body
 
+    def make_writeback(i: int, j: int, storage: Precision):
+        # Coordinator-side completion of a worker-executed store task:
+        # write the result tile straight back through the store (the
+        # same set_tile rounding the serial body applies; set_tile on
+        # an already-on-grid tile is exact, so this stays bitwise).
+        def on_complete(out):
+            tiled.set_tile(i, j, out.to_float64(), precision=storage)
+        return on_complete
+
     for k in range(nt):
         hkk = handles[(k, k)]
         nbk = layout.tile_shape(k, k)[0]
@@ -559,6 +581,10 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
             "potrf", (hkk, AccessMode.READWRITE), body=make_potrf_body(k),
             flops=potrf_flops(nbk), precision=wp, priority=nt - k + 10,
             tag=(k, k, k), tile_deps=(dep(k, k),),
+            pspec=ProcessTaskSpec(
+                PotrfSpec(wp), mode="aux",
+                aux=(TileInput(tiled, (k, k), writeback=True),),
+                on_complete=make_writeback(k, k, wp)),
         )
         _accumulate(result, "potrf", wp, potrf_flops(nbk))
 
@@ -571,6 +597,11 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
                 flops=trsm_flops(nb, mb),
                 precision=wp, priority=nt - k + 5, tag=(i, k, k),
                 tile_deps=(dep(k, k), dep(i, k)),
+                pspec=ProcessTaskSpec(
+                    TrsmSpec(wp, tile_precision(i, k)), mode="aux",
+                    aux=(TileInput(tiled, (k, k)),
+                         TileInput(tiled, (i, k), writeback=True)),
+                    on_complete=make_writeback(i, k, tile_precision(i, k))),
             )
             _accumulate(result, "trsm", wp, trsm_flops(nb, mb))
 
@@ -586,6 +617,11 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
                 flops=syrk_flops(nbi, kbk),
                 precision=wp, tag=(i, i, k),
                 tile_deps=(dep(i, k), dep(i, i)),
+                pspec=ProcessTaskSpec(
+                    SyrkSpec(wp, hik.uid), mode="aux",
+                    aux=(TileInput(tiled, (i, k)),
+                         TileInput(tiled, (i, i), writeback=True)),
+                    on_complete=make_writeback(i, i, wp)),
             )
             _accumulate(result, "syrk", wp, syrk_flops(nbi, kbk))
             for j in range(k + 1, i):
@@ -602,6 +638,12 @@ def _cholesky_runtime_store(tiled: TileMatrix, nt: int, wp: Precision,
                     flops=gemm_flops(mb, nb, kbk),
                     precision=p_ij, tag=(i, j, k),
                     tile_deps=(dep(i, k), dep(j, k), dep(i, j)),
+                    pspec=ProcessTaskSpec(
+                        GemmTrailSpec(p_ij, hik.uid, hjk.uid), mode="aux",
+                        aux=(TileInput(tiled, (i, k)),
+                             TileInput(tiled, (j, k)),
+                             TileInput(tiled, (i, j), writeback=True)),
+                        on_complete=make_writeback(i, j, p_ij)),
                 )
                 _accumulate(result, "gemm", p_ij, gemm_flops(mb, nb, kbk))
 

@@ -16,6 +16,12 @@ from repro.precision.formats import Precision
 from repro.precision.quantize import quantize
 from repro.linalg.cholesky import CholeskyResult
 from repro.linalg.kernels import gemm_flops, trsm_flops
+from repro.parallel.descriptors import (
+    ProcessTaskSpec,
+    SolveGemmSpec,
+    SolveTrsmSpec,
+    TileInput,
+)
 from repro.resilience.errors import TaskGroupError
 from repro.runtime.runtime import Runtime
 from repro.runtime.task import AccessMode
@@ -129,6 +135,9 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
                 flops=gemm_flops(op_shape[0], width, op_shape[1]),
                 precision=precision, tag=(i, j),
                 tile_deps=deps(coords),
+                pspec=ProcessTaskSpec(
+                    SolveGemmSpec(precision, transpose_tile, transpose_op),
+                    mode="both", aux=(TileInput(factor, coords),)),
             )
         diag_shape = factor.layout.tile_shape(i, i)
         if forward:
@@ -142,6 +151,9 @@ def _solve_runtime(factor: TileMatrix, x: dict[int, np.ndarray],
             precision=precision, priority=nt - i if forward else i + 1,
             tag=(i, i),
             tile_deps=deps((i, i)),
+            pspec=ProcessTaskSpec(
+                SolveTrsmSpec(precision, transpose, lower_solve),
+                mode="both", aux=(TileInput(factor, (i, i)),)),
         )
     try:
         runtime.run(phase=phase)

@@ -15,11 +15,13 @@ from repro.resilience.errors import (
     DeadlineExceededError,
     InjectedFault,
     InjectedIOError,
+    RemoteTaskError,
     ServiceOverloadedError,
     StoreCorruptionError,
     TaskFailure,
     TaskGroupError,
     TaskTimeoutError,
+    WorkerCrashError,
     is_transient,
 )
 from repro.resilience.faults import (
@@ -30,6 +32,7 @@ from repro.resilience.faults import (
     SITE_SERVE_DISPATCH,
     SITE_SLOW_READ,
     SITE_TASK_BODY,
+    SITE_WORKER_KILL,
     SITE_WORKER_STALL,
     FaultPlan,
     FaultSite,
@@ -41,6 +44,7 @@ from repro.resilience.faults import (
     install_plan,
     no_faults,
     parse_faults,
+    reset_child_state,
 )
 from repro.resilience.retry import RETRIES_ENV, RetryPolicy, resolve_retry_policy
 
@@ -48,11 +52,13 @@ __all__ = [
     "DeadlineExceededError",
     "InjectedFault",
     "InjectedIOError",
+    "RemoteTaskError",
     "ServiceOverloadedError",
     "StoreCorruptionError",
     "TaskFailure",
     "TaskGroupError",
     "TaskTimeoutError",
+    "WorkerCrashError",
     "is_transient",
     "FAULTS_ENV",
     "RETRIES_ENV",
@@ -62,6 +68,7 @@ __all__ = [
     "SITE_SERVE_DISPATCH",
     "SITE_SLOW_READ",
     "SITE_TASK_BODY",
+    "SITE_WORKER_KILL",
     "SITE_WORKER_STALL",
     "FaultPlan",
     "FaultSite",
@@ -74,5 +81,6 @@ __all__ = [
     "install_plan",
     "no_faults",
     "parse_faults",
+    "reset_child_state",
     "resolve_retry_policy",
 ]

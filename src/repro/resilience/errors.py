@@ -12,6 +12,14 @@ mortem without re-running it:
     historical behaviour of re-raising an arbitrary first failure.
 ``TaskTimeoutError``
     A task exceeded the scheduler's per-task timeout (stalled worker).
+``WorkerCrashError``
+    A process-backend worker died mid-task (killed, OOM'd, crashed).
+    *Transient*: the coordinator respawns the worker and retries the
+    task under the configured retry policy.
+``RemoteTaskError``
+    A worker-side exception that could not be pickled back verbatim;
+    carries the original type name, message, traceback text and
+    ``transient`` marker.
 ``StoreCorruptionError``
     A spill slot failed its integrity check on reload: truncated
     segment, checksum mismatch, or unreadable file — named by matrix,
@@ -37,6 +45,8 @@ __all__ = [
     "TaskFailure",
     "TaskGroupError",
     "TaskTimeoutError",
+    "WorkerCrashError",
+    "RemoteTaskError",
     "StoreCorruptionError",
     "ServiceOverloadedError",
     "DeadlineExceededError",
@@ -57,6 +67,12 @@ class InjectedFault(RuntimeError):
             f"injected {flavor} fault at site {site!r}"
             + (f" (key={key!r})" if key is not None else ""))
 
+    def __reduce__(self):
+        # Default exception pickling re-calls __init__ with the message
+        # string, which would reset `transient` to True; process-backend
+        # workers ship these over a pipe, so preserve the real fields.
+        return (InjectedFault, (self.site, self.key, self.transient))
+
 
 class InjectedIOError(OSError):
     """An injected I/O fault (``kind="oserror"`` sites)."""
@@ -68,6 +84,9 @@ class InjectedIOError(OSError):
         super().__init__(
             f"injected I/O fault at site {site!r}"
             + (f" (key={key!r})" if key is not None else ""))
+
+    def __reduce__(self):
+        return (InjectedIOError, (self.site, self.key))
 
 
 def is_transient(exc: BaseException) -> bool:
@@ -100,6 +119,55 @@ class TaskTimeoutError(RuntimeError):
         super().__init__(
             f"task {task_name!r}#{task_uid} (tag={tag!r}) exceeded the "
             f"per-task timeout: {elapsed_s:.3f}s > {timeout_s:.3f}s")
+
+
+class WorkerCrashError(RuntimeError):
+    """A process-backend worker died while executing a task.
+
+    A dead worker is a *transient* fault in this taxonomy — the
+    machine-level analogue of a filesystem hiccup: the coordinator
+    respawns the worker process and retries the task elsewhere, and
+    only repeated crashes surface as a permanent
+    :class:`TaskGroupError`.
+    """
+
+    transient = True
+
+    def __init__(self, worker_id: int, task_name: str = "?",
+                 task_uid: object = None, exitcode: object = None) -> None:
+        self.worker_id = worker_id
+        self.task_name = task_name
+        self.task_uid = task_uid
+        self.exitcode = exitcode
+        super().__init__(
+            f"worker {worker_id} died while executing task "
+            f"{task_name!r}#{task_uid}"
+            + (f" (exitcode={exitcode})" if exitcode is not None else ""))
+
+    def __reduce__(self):
+        return (WorkerCrashError, (self.worker_id, self.task_name,
+                                   self.task_uid, self.exitcode))
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker exception that could not be shipped back verbatim.
+
+    Preserves the pieces diagnosis needs — original type name, message,
+    remote traceback text — and the ``transient`` marker so the retry
+    machinery classifies it exactly as the worker would have.
+    """
+
+    def __init__(self, original_type: str, message: str,
+                 transient: bool = False, remote_traceback: str = "") -> None:
+        self.original_type = original_type
+        self.message = message
+        self.transient = transient
+        self.remote_traceback = remote_traceback
+        super().__init__(f"{original_type}: {message}")
+
+    def __reduce__(self):
+        return (RemoteTaskError, (self.original_type, self.message,
+                                  self.transient, self.remote_traceback))
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,8 @@ site                 where it fires
 ``corrupt-read``     in ``_Segment.read`` — flips one byte of the payload
 ``slow-read``        in ``_Segment.read`` — sleeps ``delay_s``
 ``serve-dispatch``   in the serving dispatcher, before ``predict_many``
+``worker-kill``      in a process-backend worker, before a task body —
+                     hard-kills the worker process (``os._exit``)
 ==================== =====================================================
 
 Fault schedules are *counter*-based, not clock- or random-module-based:
@@ -55,6 +57,7 @@ __all__ = [
     "SITE_CORRUPT_READ",
     "SITE_SLOW_READ",
     "SITE_SERVE_DISPATCH",
+    "SITE_WORKER_KILL",
     "FaultSite",
     "FaultPlan",
     "parse_faults",
@@ -65,6 +68,7 @@ __all__ = [
     "no_faults",
     "inject",
     "corrupt_bytes",
+    "reset_child_state",
 ]
 
 FAULTS_ENV = "REPRO_FAULTS"
@@ -76,6 +80,7 @@ SITE_SEGMENT_WRITE = "segment-write"
 SITE_CORRUPT_READ = "corrupt-read"
 SITE_SLOW_READ = "slow-read"
 SITE_SERVE_DISPATCH = "serve-dispatch"
+SITE_WORKER_KILL = "worker-kill"
 
 KINDS = ("raise", "oserror", "stall", "slow", "corrupt")
 
@@ -337,3 +342,22 @@ def corrupt_bytes(site: str, data: bytes, key: object = None) -> bytes:
     if plan is not None:
         return plan.corrupt(site, data, key)
     return data
+
+
+def reset_child_state() -> None:
+    """Reinitialize module state in a freshly forked worker process.
+
+    A ``fork`` can capture ``_env_lock`` held by another thread (the
+    store's prefetch thread injects segment faults under it) and plan
+    objects whose internal locks are likewise mid-acquire — either
+    would deadlock the child on its first injection site.  Process-
+    backend workers call this from their bootstrap: a fresh lock, no
+    cached env plan (the child re-parses ``REPRO_FAULTS`` with its own
+    counters) and no installed override (``install_plan`` is per
+    process by design — worker-side injection is env-driven only).
+    """
+    global _override, _env_text, _env_plan, _env_lock
+    _env_lock = threading.Lock()
+    _override = _UNSET
+    _env_text = None
+    _env_plan = None

@@ -63,7 +63,7 @@ class TaskGraph:
 
     def insert_task(self, name: str, *accesses, body=None, flops: float = 0.0,
                     precision=None, priority: int = 0, tag=None,
-                    flops_detail=None, tile_deps=()) -> Task:
+                    flops_detail=None, tile_deps=(), pspec=None) -> Task:
         """PaRSEC-style convenience wrapper around :meth:`add_task`.
 
         ``accesses`` is a flat sequence of ``(handle, mode)`` pairs.
@@ -80,6 +80,7 @@ class TaskGraph:
             tag=tag,
             flops_detail=flops_detail,
             tile_deps=tuple(tile_deps),
+            pspec=pspec,
         )
         return self.add_task(task)
 

@@ -52,16 +52,31 @@ EXECUTION_ENV = "REPRO_EXECUTION"
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Resolve a worker-thread count.
+    """Resolve a worker count (threads or processes).
 
     Explicit values win; ``None`` consults the ``REPRO_WORKERS``
     environment variable and finally defaults to ``min(8, cpu_count)``.
+    Invalid values — non-integers or anything below 1 — raise a typed
+    ``ValueError`` naming the offending knob instead of being silently
+    clamped.
     """
     if workers is not None:
-        return max(1, int(workers))
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1 (or None), got {workers}")
+        return workers
     env = os.environ.get(WORKERS_ENV)
     if env:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer >= 1, got {env!r}")
+        return value
     return min(8, os.cpu_count() or 1)
 
 
@@ -89,13 +104,15 @@ class Runtime:
     execute_bodies:
         When False, only the timing simulation runs (simulated mode).
     execution:
-        ``"threaded"`` (default — real out-of-order worker-pool
-        execution), ``"serial"`` (same drain on the caller's thread) or
+        ``"threaded"`` (default — out-of-order worker-pool execution on
+        host threads), ``"process"`` (GIL-free worker OS processes with
+        shared-memory tile exchange, see :mod:`repro.parallel`),
+        ``"serial"`` (same drain on the caller's thread) or
         ``"simulated"`` (the historical device-timing mode).
     workers:
-        Worker threads of the threaded mode; ``None`` resolves through
-        :func:`resolve_workers` (``REPRO_WORKERS`` env var, then
-        ``min(8, cpu_count)``).
+        Worker threads/processes of the threaded/process modes;
+        ``None`` resolves through :func:`resolve_workers`
+        (``REPRO_WORKERS`` env var, then ``min(8, cpu_count)``).
     task_retries:
         Transient-failure retry budget per task (see
         :class:`~repro.resilience.retry.RetryPolicy`); ``None`` resolves
@@ -273,6 +290,7 @@ class Runtime:
         tag: Any = None,
         flops_detail: dict[Precision, float] | None = None,
         tile_deps: tuple = (),
+        pspec=None,
     ) -> Task:
         """Insert a task; dependencies derive from the access declarations.
 
@@ -284,6 +302,11 @@ class Runtime:
         ``tile_deps`` declares the store-backed tiles the task touches
         (``(binding, (i, j))`` pairs) so the scheduler's store hooks can
         pin, unpin and prefetch them (see :mod:`repro.store`).
+
+        ``pspec`` attaches the task's picklable process-backend
+        descriptor (see :mod:`repro.parallel.descriptors`); tasks
+        without one run inline on the coordinator under
+        ``execution="process"``.
         """
         for handle, _ in accesses:
             if handle.uid not in self._handle_uids:
@@ -301,6 +324,7 @@ class Runtime:
             tag=tag,
             flops_detail=flops_detail,
             tile_deps=tile_deps,
+            pspec=pspec,
         )
 
     def run(self, phase: str | None = None) -> ScheduleResult:
@@ -419,3 +443,13 @@ class Runtime:
         runtime and shared by every run.
         """
         self.graph = TaskGraph()
+
+    def close(self) -> None:
+        """Release executor resources.
+
+        Only the process mode holds any (its worker pool, which is
+        otherwise reclaimed when the runtime is garbage collected);
+        ``close()`` is idempotent and the runtime remains usable — the
+        next process-mode run starts a fresh pool.
+        """
+        self.scheduler.close()

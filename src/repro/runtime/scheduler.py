@@ -1,16 +1,24 @@
 """Out-of-order executors over the task DAG.
 
 The scheduler owns *how* a :class:`~repro.runtime.dag.TaskGraph` is
-executed.  Three execution modes share one dependency engine:
+executed.  Four execution modes share one dependency engine:
 
 ``threaded``
-    The real thing: a worker pool drains the ready set as dependencies
-    resolve, executing task bodies out of order on host threads (BLAS
-    releases the GIL, so tile kernels genuinely overlap).  The trace
-    records wall-clock start/end times per worker.  Because every
-    ordering constraint between tasks touching the same data is an
-    explicit RAW/WAR/WAW edge, any interleaving the pool produces is
-    bitwise identical to the serial elimination order.
+    A worker pool drains the ready set as dependencies resolve,
+    executing task bodies out of order on host threads (BLAS releases
+    the GIL, so tile kernels genuinely overlap).  The trace records
+    wall-clock start/end times per worker.  Because every ordering
+    constraint between tasks touching the same data is an explicit
+    RAW/WAR/WAW edge, any interleaving the pool produces is bitwise
+    identical to the serial elimination order.
+
+``process``
+    The GIL-free backend (:mod:`repro.parallel`): worker OS processes
+    execute picklable task descriptors, exchanging tiles through
+    mmap'd segment files (or shared memory); the coordinator keeps the
+    DAG, hooks and trace.  Tasks without a descriptor run inline on
+    the coordinator.  Same bitwise contract as ``threaded``; dead
+    workers are transient faults (respawn + retry).
 
 ``serial``
     The same ready-set drain on the caller's thread (priority order,
@@ -68,7 +76,7 @@ from repro.runtime.device import (
 from repro.runtime.task import DataHandle, Task
 from repro.runtime.trace import ExecutionTrace, TaskEvent
 
-EXECUTION_MODES = ("threaded", "serial", "simulated")
+EXECUTION_MODES = ("threaded", "serial", "simulated", "process")
 
 
 @dataclass
@@ -133,11 +141,15 @@ class Scheduler:
         their first written handle; otherwise on the earliest-free
         device.
     execution:
-        ``"threaded"``, ``"serial"`` or ``"simulated"`` (default keeps
-        the historical behaviour for direct ``Scheduler`` users).
+        ``"threaded"``, ``"serial"``, ``"simulated"`` or ``"process"``
+        (default keeps the historical behaviour for direct
+        ``Scheduler`` users).
     workers:
-        Worker threads of the threaded mode.  Capped at the task count
-        per run; 1 falls back to the serial drain (no threads spawned).
+        Worker threads of the threaded mode (capped at the task count
+        per run; 1 falls back to the serial drain) or worker
+        *processes* of the process mode (always pooled, even at 1 — a
+        single-worker process run exercises the full descriptor/
+        exchange path and stays bitwise identical to serial).
     hooks:
         Optional task-lifecycle observer with ``task_ready`` /
         ``task_dispatch`` / ``task_complete`` methods (the serial and
@@ -183,10 +195,35 @@ class Scheduler:
             raise RuntimeError("task graph contains a cycle")
         if self.execution == "simulated":
             return self._run_simulated(graph)
+        if self.execution == "process":
+            if not self.execute_bodies:
+                # nothing to ship to a worker: time the bookkeeping
+                return self._run_serial(graph)
+            return self._run_process(graph)
         if self.execution == "serial" or self.workers <= 1 \
                 or graph.num_tasks <= 1:
             return self._run_serial(graph)
         return self._run_threaded(graph)
+
+    def _run_process(self, graph: TaskGraph) -> ScheduleResult:
+        from repro.parallel.executor import run_process
+
+        return run_process(self, graph)
+
+    def close(self) -> None:
+        """Release executor resources (the process mode's worker pool).
+
+        Idempotent and safe in every mode; a scheduler is usable again
+        after ``close()`` (the next process drain starts a fresh pool).
+        """
+        pool = getattr(self, "_pool", None)
+        finalizer = getattr(self, "_pool_finalizer", None)
+        self._pool = None
+        self._pool_finalizer = None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None:
+            pool.shutdown()
 
     # ------------------------------------------------------------------
     # body execution with fault injection + retry

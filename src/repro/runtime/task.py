@@ -115,6 +115,12 @@ class Task:
         them on completion, and hand them to the prefetch reader when
         the task becomes ready.  Empty for tasks that only operate on
         handle payloads.
+    pspec:
+        Optional :class:`~repro.parallel.descriptors.ProcessTaskSpec`
+        re-expressing ``body`` as a picklable descriptor for the
+        process execution backend.  ``None`` means the task runs
+        inline on the coordinator under ``execution="process"`` (and
+        ``pspec`` is ignored entirely by the other modes).
     """
 
     name: str
@@ -126,6 +132,7 @@ class Task:
     tag: Any = None
     flops_detail: dict[Precision, float] | None = None
     tile_deps: tuple = ()
+    pspec: Any = None
     uid: int = field(default_factory=lambda: next(_task_counter))
 
     def __post_init__(self) -> None:

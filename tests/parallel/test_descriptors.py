@@ -1,0 +1,198 @@
+"""Descriptor pickle round-trips and behavior equality vs closure bodies.
+
+Every descriptor kind the insertion sites emit must (a) survive a
+pickle round trip bit-for-bit and (b) compute exactly what the
+corresponding serial closure computes — the process backend's bitwise
+contract rests on both.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.distance.build import KernelBuilder, compute_kernel_rows
+from repro.linalg.blas3 import gemm
+from repro.linalg.kernels import (
+    panel_operand,
+    tile_gemm,
+    tile_potrf,
+    tile_syrk,
+    tile_trsm,
+)
+from repro.parallel.descriptors import (
+    ALL_SPEC_KINDS,
+    BuildRowSpec,
+    DenseGemmSpec,
+    GemmTrailSpec,
+    PotrfSpec,
+    SolveGemmSpec,
+    SolveTrsmSpec,
+    SyrkSpec,
+    TrsmSpec,
+    clear_operand_cache,
+)
+from repro.precision.formats import Precision
+from repro.precision.quantize import quantize
+from repro.tiles.tile import Tile
+
+T = 16
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _spd_tile(seed=0, coords=(0, 0)) -> Tile:
+    a = _rng(seed).standard_normal((T, T))
+    return Tile(a @ a.T / T + 4.0 * np.eye(T), precision=Precision.FP64,
+                coords=coords)
+
+
+def _tile(seed=1, coords=(1, 0), precision=Precision.FP32) -> Tile:
+    return Tile(_rng(seed).standard_normal((T, T)), precision=precision,
+                coords=coords)
+
+
+def _round_trip(spec):
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    return clone
+
+
+@pytest.fixture(autouse=True)
+def _fresh_operand_cache():
+    clear_operand_cache()
+    yield
+    clear_operand_cache()
+
+
+def _specimens():
+    """One representative instance of every descriptor kind."""
+    return {
+        PotrfSpec: PotrfSpec(Precision.FP32),
+        TrsmSpec: TrsmSpec(Precision.FP32, Precision.FP16),
+        SyrkSpec: SyrkSpec(Precision.FP32, key_ik=11),
+        GemmTrailSpec: GemmTrailSpec(Precision.FP16, key_ik=11, key_jk=12),
+        SolveGemmSpec: SolveGemmSpec(Precision.FP32, transpose_tile=True,
+                                     transpose_op=False),
+        SolveTrsmSpec: SolveTrsmSpec(Precision.FP32, transpose=False,
+                                     lower_solve=True),
+        BuildRowSpec: BuildRowSpec(gamma=0.01, snp_block=64, row_start=0,
+                                   row_stop=8, col_end=24),
+        DenseGemmSpec: DenseGemmSpec(tile_size=8, precision=Precision.FP32,
+                                     transa=False, transb=True),
+    }
+
+
+def test_every_spec_kind_has_a_specimen():
+    assert set(_specimens()) == set(ALL_SPEC_KINDS)
+
+
+@pytest.mark.parametrize("kind", ALL_SPEC_KINDS,
+                         ids=lambda k: k.__name__)
+def test_pickle_round_trip(kind):
+    spec = _specimens()[kind]
+    clone = _round_trip(spec)
+    # frozen dataclasses: field-for-field equality after the trip
+    assert clone.__dict__ == spec.__dict__
+
+
+class TestBehaviorEquality:
+    """Descriptor.run == the serial closure's arithmetic, bit for bit."""
+
+    def test_potrf(self):
+        a = _spd_tile()
+        spec = _round_trip(PotrfSpec(Precision.FP32))
+        out = spec.run(a)
+        expect = tile_potrf(a.to_float64(), precision=Precision.FP32)
+        np.testing.assert_array_equal(out.to_float64(), expect)
+        assert out.precision is Precision.FP32
+        assert out.coords == a.coords
+
+    def test_trsm(self):
+        lkk = Tile(np.linalg.cholesky(_spd_tile().to_float64()),
+                   precision=Precision.FP32, coords=(0, 0))
+        aik = _tile(seed=2, coords=(1, 0))
+        spec = _round_trip(TrsmSpec(Precision.FP32, Precision.FP16))
+        out = spec.run(lkk, aik)
+        expect = tile_trsm(lkk.to_float64(), aik.to_float64(),
+                           precision=Precision.FP32, side="right", trans=True)
+        np.testing.assert_array_equal(
+            out.to_float64(),
+            Tile(expect, precision=Precision.FP16).to_float64())
+        assert out.precision is Precision.FP16
+        assert out.coords == aik.coords
+
+    def test_syrk(self):
+        lik = _tile(seed=3, coords=(2, 0))
+        aii = _spd_tile(seed=4, coords=(2, 2))
+        spec = _round_trip(SyrkSpec(Precision.FP32, key_ik=7))
+        out = spec.run(lik, aii)
+        expect = tile_syrk(panel_operand(lik.to_float64(), Precision.FP32),
+                           aii.to_float64(), precision=Precision.FP32,
+                           alpha=-1.0, beta=1.0)
+        np.testing.assert_array_equal(out.to_float64(), expect)
+
+    def test_gemm_trail(self):
+        lik = _tile(seed=5, coords=(2, 0))
+        ljk = _tile(seed=6, coords=(1, 0))
+        aij = _tile(seed=7, coords=(2, 1), precision=Precision.FP64)
+        spec = _round_trip(GemmTrailSpec(Precision.FP32, key_ik=8, key_jk=9))
+        out = spec.run(lik, ljk, aij)
+        expect = tile_gemm(panel_operand(lik.to_float64(), Precision.FP32),
+                           panel_operand(ljk.to_float64(), Precision.FP32),
+                           aij.to_float64(), precision=Precision.FP32,
+                           alpha=-1.0, beta=1.0, transb=True)
+        np.testing.assert_array_equal(out.to_float64(), expect)
+
+    def test_operand_cache_hit_is_bitwise_stable(self):
+        lik = _tile(seed=3, coords=(2, 0))
+        aii = _spd_tile(seed=4, coords=(2, 2))
+        spec = SyrkSpec(Precision.FP32, key_ik=7)
+        first = spec.run(lik, aii).to_float64()
+        second = spec.run(lik, aii).to_float64()  # cache hit path
+        np.testing.assert_array_equal(first, second)
+
+    def test_solve_gemm(self):
+        xj = _rng(8).standard_normal((T, 3))
+        acc = _rng(9).standard_normal((T, 3))
+        lij = _tile(seed=10, coords=(2, 1))
+        spec = _round_trip(SolveGemmSpec(Precision.FP32, transpose_tile=True,
+                                         transpose_op=False))
+        out = spec.run(xj, acc, lij)
+        expect = quantize(acc - lij.to_float64().T @ xj, Precision.FP32)
+        np.testing.assert_array_equal(out, np.asarray(expect, np.float64))
+
+    def test_solve_trsm(self):
+        acc = _rng(11).standard_normal((T, 3))
+        diag = Tile(np.linalg.cholesky(_spd_tile(seed=12).to_float64()),
+                    precision=Precision.FP64, coords=(1, 1))
+        spec = _round_trip(SolveTrsmSpec(Precision.FP32, transpose=True,
+                                         lower_solve=False))
+        out = spec.run(acc, diag)
+        expect = quantize(
+            scipy.linalg.solve_triangular(diag.to_float64().T, acc,
+                                          lower=False), Precision.FP32)
+        np.testing.assert_array_equal(out, np.asarray(expect, np.float64))
+
+    def test_build_row(self):
+        g = _rng(13).integers(0, 3, size=(24, 96)).astype(np.int8)
+        builder = KernelBuilder(gamma=0.01, tile_size=8, snp_block=64)
+        ctx = builder._prepare_operands(g, g, None, None, symmetric=True)
+        spec = _round_trip(BuildRowSpec(gamma=0.01, snp_block=64,
+                                        row_start=0, row_stop=8, col_end=24))
+        out = spec.run(pickle.loads(pickle.dumps(ctx)))
+        expect = compute_kernel_rows(ctx, 0.01, 64, slice(0, 8), slice(0, 24))
+        np.testing.assert_array_equal(out, expect)
+
+    def test_dense_gemm(self):
+        a = _rng(14).standard_normal((24, 16))
+        b = _rng(15).standard_normal((24, 16))
+        spec = _round_trip(DenseGemmSpec(tile_size=8, precision=Precision.FP32,
+                                         transa=False, transb=True))
+        out = spec.run(a, b)
+        expect = gemm(a, b, tile_size=8, precision=Precision.FP32,
+                      transa=False, transb=True)
+        np.testing.assert_array_equal(out, expect)
