@@ -204,6 +204,11 @@ class PrecisionPlan(_WithOptionsMixin):
 #: config validation does not import the runtime package).
 _EXECUTION_MODES = ("threaded", "serial", "simulated", "process")
 
+#: Solver routes accepted by ``KRRConfig.solver`` (mirrors
+#: :data:`repro.linalg.cg.SOLVER_MODES`, kept literal for the same
+#: reason as ``_EXECUTION_MODES``).
+_SOLVER_MODES = ("direct", "cg")
+
 
 def _validate_execution_knobs(cfg) -> None:
     if cfg.execution is not None and cfg.execution not in _EXECUTION_MODES:
@@ -312,6 +317,26 @@ class KRRConfig(_WithOptionsMixin):
         **Deprecated** — the historical Build-only thread knob.  Still
         honoured (it seeds ``workers`` when that is unset) with a
         :class:`DeprecationWarning`; use ``workers`` instead.
+    solver:
+        Associate-phase solve route.  ``"direct"`` (the historical
+        path) factorizes ``K + alpha*I`` per associate; ``"cg"``
+        factorizes **once** per kernel and solves subsequent alphas
+        with tile-native preconditioned conjugate gradients against
+        that factor (FP64 iterations, low-precision preconditioner —
+        see :mod:`repro.linalg.cg`), falling back to a direct
+        factorization automatically when CG does not converge.  This
+        is what makes ``grid_search_cv`` sweeps factor-once per
+        (fold, gamma).  ``None`` resolves the ``REPRO_SOLVER``
+        environment variable and finally ``"direct"``.
+    cg_tol:
+        Convergence threshold of the CG route: per-column relative
+        residual ``||b - A x|| / ||b||``.  The default 1e-8 sits well
+        below the FP32 working-precision noise of the direct solve, so
+        CG solutions agree with direct ones to the accuracy the
+        precision plan supports.
+    cg_max_iters:
+        CG iteration cap; hitting it triggers the automatic fallback
+        to the direct factorization for that alpha.
     predict_batch_rows:
         Row-batch size of the streamed Predict phase: the test cohort
         is processed ``predict_batch_rows`` individuals at a time, so
@@ -378,6 +403,9 @@ class KRRConfig(_WithOptionsMixin):
     workers: int | None = None
     execution: str | None = None
     build_workers: int | None = None
+    solver: str | None = None
+    cg_tol: float = 1e-8
+    cg_max_iters: int = 200
     predict_batch_rows: int | None = 1024
     normalize_gamma: bool = True
     artifact_compress: bool = False
@@ -399,6 +427,15 @@ class KRRConfig(_WithOptionsMixin):
             raise ValueError("tile_size must be positive")
         if self.store_budget_bytes is not None and self.store_budget_bytes <= 0:
             raise ValueError("store_budget_bytes must be positive (or None)")
+        if self.solver is not None and self.solver not in _SOLVER_MODES:
+            raise ValueError(
+                f"solver must be one of {_SOLVER_MODES} (or None), got "
+                f"{self.solver!r}"
+            )
+        if not self.cg_tol > 0:
+            raise ValueError("cg_tol must be positive")
+        if self.cg_max_iters < 1:
+            raise ValueError("cg_max_iters must be at least 1")
         _validate_resilience_knobs(self)
         _validate_execution_knobs(self)
         if self.build_workers is not None:

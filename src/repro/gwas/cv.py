@@ -16,6 +16,7 @@ import numpy as np
 from repro.gwas.config import KRRConfig
 from repro.gwas.metrics import mean_squared_prediction_error
 from repro.gwas.session import KRRSession
+from repro.linalg.cg import resolve_solver
 
 __all__ = ["CrossValidationResult", "grid_search_cv", "kfold_indices"]
 
@@ -51,6 +52,21 @@ class CrossValidationResult:
         Mapping ``(alpha, gamma) -> mean MSPE`` over all grid points.
     fold_scores:
         Mapping ``(alpha, gamma) -> list of per-fold MSPEs``.
+    solver:
+        The resolved solver route the sweep ran with
+        (``"direct"`` or ``"cg"``).
+    factorizations:
+        Total tiled Cholesky factorizations across all (fold, γ)
+        sessions — ``folds * len(gammas) * len(alphas)`` on the direct
+        route, ``folds * len(gammas)`` on the factor-once CG route
+        (plus any CG fallbacks).
+    cg_fallbacks:
+        CG solves that failed to converge and fell back to a direct
+        factorization.
+    phase_seconds:
+        Wall-clock seconds summed over every session in the sweep,
+        keyed by phase: ``build`` / ``factor`` / ``solve`` /
+        ``predict``.
     """
 
     best_alpha: float
@@ -58,6 +74,10 @@ class CrossValidationResult:
     best_score: float
     scores: dict[tuple[float, float], float] = field(default_factory=dict)
     fold_scores: dict[tuple[float, float], list[float]] = field(default_factory=dict)
+    solver: str = "direct"
+    factorizations: int = 0
+    cg_fallbacks: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def best_config(self, base: KRRConfig | None = None) -> KRRConfig:
         """A :class:`KRRConfig` carrying the selected hyperparameters."""
@@ -76,6 +96,7 @@ def grid_search_cv(
     seed: int | None = 0,
     workers: int | None = None,
     execution: str | None = None,
+    solver: str | None = None,
 ) -> CrossValidationResult:
     """K-fold grid search over (α, γ) for the KRR GWAS model.
 
@@ -83,21 +104,38 @@ def grid_search_cv(
     ties break deterministically toward the smallest α, then the
     smallest γ.  The kernel
     type, tile size and precision plan are taken from ``base_config``;
-    ``workers`` / ``execution`` override the base config's task-runtime
-    knobs for every session the sweep spawns (each (fold, γ) session
-    owns one runtime that executes its Build, the per-α factorizations
-    and the validation predictions).
+    ``workers`` / ``execution`` / ``solver`` override the base config's
+    task-runtime and solver knobs for every session the sweep spawns
+    (each (fold, γ) session owns one runtime that executes its Build,
+    the per-α solves and the validation predictions).
 
     The kernel matrix ``K`` depends on γ but **not** on α, so each
     (fold, γ) pair builds ``K`` and the validation cross kernel exactly
     once; the α axis then re-runs only the Associate phase against the
-    retained tiled kernel (one diagonal-shifted factorization per α)
-    and the Predict GEMM against the retained cross kernel.  For a grid
-    with ``A`` alphas this removes ``(A-1)/A`` of the Build work the
-    per-grid-point refit performed.
+    retained tiled kernel and the Predict GEMM against the retained
+    cross kernel.  For a grid with ``A`` alphas this removes
+    ``(A-1)/A`` of the Build work the per-grid-point refit performed.
+
+    On the direct route the Associate phase still pays one
+    O(n³/3) factorization per α.  With ``solver="cg"`` (or
+    ``REPRO_SOLVER=cg``) the sweep goes *factor-once*: the sorted-middle
+    α is associated first, its factorization becomes the CG reference
+    preconditioner for the session, and every other α costs only a few
+    O(n²) preconditioned-CG iterations — one Build and **one
+    factorization** per (fold, γ), one cheap CG solve per α.  Scores
+    are keyed by (α, γ), so the reordered sweep reports identically.
     """
-    if not alphas or not gammas:
-        raise ValueError("alphas and gammas must be non-empty")
+    if n_folds < 2:
+        raise ValueError("n_folds must be at least 2")
+    alphas = [float(a) for a in alphas]
+    gammas = [float(g) for g in gammas]
+    if not alphas:
+        raise ValueError("alphas must be non-empty")
+    if not gammas:
+        raise ValueError("gammas must be non-empty")
+    for a in alphas:
+        if not a > 0:
+            raise ValueError(f"alphas must be positive, got {a!r}")
     genotypes = np.asarray(genotypes)
     phenotypes = np.asarray(phenotypes, dtype=np.float64)
     if phenotypes.ndim == 1:
@@ -107,11 +145,27 @@ def grid_search_cv(
         base = base.with_options(workers=workers)
     if execution is not None:
         base = base.with_options(execution=execution)
+    if solver is not None:
+        base = base.with_options(solver=solver)
+    solver_mode = resolve_solver(base.solver)
+
+    # CG sweeps factor the sorted-middle alpha first: the reference
+    # preconditioner then sits closest (in eigenvalue-shift distance)
+    # to the rest of the grid, minimizing iteration counts at the
+    # extremes.  Scores are keyed by value, so the order is invisible
+    # to the caller.
+    order = list(range(len(alphas)))
+    if solver_mode == "cg" and len(alphas) > 1:
+        mid = sorted(order, key=lambda i: alphas[i])[(len(alphas) - 1) // 2]
+        order = [mid] + [i for i in order if i != mid]
 
     folds = kfold_indices(genotypes.shape[0], n_folds, seed=seed)
     scores: dict[tuple[float, float], float] = {}
     fold_scores: dict[tuple[float, float], list[float]] = {
-        (float(a), float(g)): [] for a in alphas for g in gammas}
+        (a, g): [] for a in alphas for g in gammas}
+    phase_seconds: dict[str, float] = {}
+    factorizations = 0
+    cg_fallbacks = 0
 
     for train_idx, valid_idx in folds:
         g_train, g_valid = genotypes[train_idx], genotypes[valid_idx]
@@ -119,17 +173,22 @@ def grid_search_cv(
         c_train = None if confounders is None else confounders[train_idx]
         c_valid = None if confounders is None else confounders[valid_idx]
         for gamma in gammas:
-            session = KRRSession(base.with_options(gamma=float(gamma)))
+            session = KRRSession(base.with_options(gamma=gamma))
             session.build(g_train, c_train)
             cross = None
-            for alpha in alphas:
-                session.associate(y_train, alpha=float(alpha))
+            for i in order:
+                alpha = alphas[i]
+                session.associate(y_train, alpha=alpha)
                 if cross is None:
                     # K_test depends only on gamma — build once per fold
                     cross = session.cross_kernel(g_valid, c_valid)
                 pred = session.predict_with_kernel(cross)
-                fold_scores[(float(alpha), float(gamma))].append(
+                fold_scores[(alpha, gamma)].append(
                     mean_squared_prediction_error(y_valid, pred))
+            for key, secs in session.phase_seconds.items():
+                phase_seconds[key] = phase_seconds.get(key, 0.0) + secs
+            factorizations += session.factorization_count_
+            cg_fallbacks += session.cg_fallbacks_
 
     for key, errs in fold_scores.items():
         scores[key] = float(np.mean(errs))
@@ -144,4 +203,8 @@ def grid_search_cv(
         best_score=scores[best_key],
         scores=scores,
         fold_scores=fold_scores,
+        solver=solver_mode,
+        factorizations=factorizations,
+        cg_fallbacks=cg_fallbacks,
+        phase_seconds=phase_seconds,
     )

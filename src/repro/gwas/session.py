@@ -45,11 +45,14 @@ these sessions, kept for backwards compatibility.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.distance.build import BuildResult, KernelBuilder
 from repro.gwas.config import KRRConfig, PrecisionPlan, RRConfig
 from repro.linalg.blas3 import gemm, syrk
+from repro.linalg.cg import CGResult, cg_solve, resolve_solver
 from repro.linalg.cholesky import CholeskyResult, cholesky
 from repro.linalg.solve import solve_cholesky
 from repro.precision.formats import Precision
@@ -147,9 +150,27 @@ class KRRSession:
         self.y_means_: np.ndarray | None = None
         self.alpha_: float | None = None
         self.regularization_boosts_: int = 0
+        # CG solver state (``config.solver="cg"`` / ``REPRO_SOLVER=cg``):
+        # the regularization of the *reference* factor held in
+        # ``factorization_`` — CG preconditions every other alpha with
+        # it; ``None`` means the factor (if any) cannot serve as a CG
+        # reference (fresh session, rebuilt kernel, adopted kernel).
+        self._cg_ref_alpha: float | None = None
+        # centered phenotypes of the last associate on this kernel —
+        # re-solves of the same panel at a new alpha warm-start CG from
+        # the retained ``weights_``
+        self._cg_last_y: np.ndarray | None = None
+        self.cg_result_: CGResult | None = None
+        self.cg_fallbacks_: int = 0
+        self.factorization_count_: int = 0
         # accounting (mutated in place so external references stay live)
         self.phase_flops: dict[str, float] = {}
         self.flops_by_precision: dict[Precision, float] = {}
+        #: Cumulative wall-clock seconds per phase —
+        #: ``build`` / ``factor`` / ``solve`` / ``predict`` (plus any
+        #: custom predict phase labels, e.g. ``"serve"``).  Reset by
+        #: :meth:`build`, accumulated by every later phase call.
+        self.phase_seconds: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # out-of-core store
@@ -172,6 +193,9 @@ class KRRSession:
         identical fit/predict results.
         """
         return self.store.stats.snapshot() if self.store is not None else None
+
+    def _add_seconds(self, key: str, seconds: float) -> None:
+        self.phase_seconds[key] = self.phase_seconds.get(key, 0.0) + seconds
 
     # ------------------------------------------------------------------
     # Phase 1: BUILD
@@ -206,7 +230,15 @@ class KRRSession:
         gamma = self.config.effective_gamma(genotypes.shape[1])
         builder = self._builder(gamma, adaptive=True)
         self.runtime.clear_phase("build")
+        started = time.perf_counter()
         result = builder.build_training(genotypes, confounders)
+        self.phase_seconds.clear()
+        self.phase_seconds["build"] = time.perf_counter() - started
+        # a rebuilt kernel invalidates the CG reference factor: the
+        # retained factorization (if any) no longer preconditions it
+        self._cg_ref_alpha = None
+        self.cg_result_ = None
+        self._cg_last_y = None
 
         self.build_result_ = result
         self.kernel_ = result.kernel
@@ -273,14 +305,20 @@ class KRRSession:
         self.runtime.clear_phase("build")
         self.build_result_ = None
         self.phase_flops.pop("build", None)
+        self.phase_seconds.pop("build", None)
+        # any retained factor belongs to the replaced kernel — it must
+        # not serve as the CG preconditioner for the adopted one
+        self._cg_ref_alpha = None
+        self.cg_result_ = None
+        self._cg_last_y = None
         return tiled
 
     # ------------------------------------------------------------------
     # Phase 2: ASSOCIATE
     # ------------------------------------------------------------------
-    def associate(self, phenotypes: np.ndarray,
-                  alpha: float | None = None) -> np.ndarray:
-        """Factorize ``K + alpha*I`` and solve the weight panel (Algorithm 3).
+    def _direct_factorize(self, current: float,
+                          phase: str = "associate") -> tuple[CholeskyResult, float]:
+        """The boost-retry tiled factorization of ``K + current*I``.
 
         The regularization is applied by shifting only the *diagonal
         tiles* of the tiled kernel; the factorization runs on a
@@ -290,30 +328,17 @@ class KRRSession:
         shift is boosted 10x in place — up to twice — before giving up;
         the boost count is recorded in ``regularization_boosts_``.
 
-        ``alpha`` overrides ``config.alpha`` for this call, which is how
-        the cross-validation grid sweeps the regularization axis over a
-        single Build (one factorization per alpha, no kernel rebuild).
+        Returns the factorization and the effective (possibly boosted)
+        alpha; the factor is retained as both ``factorization_`` and
+        the CG reference.
         """
-        if self.kernel_ is None:
-            raise RuntimeError("build() must be called before associate()")
-        cfg = self.config
-        plan = cfg.precision_plan
-        phenotypes = np.asarray(phenotypes, dtype=np.float64)
-        if phenotypes.ndim == 1:
-            phenotypes = phenotypes[:, None]
-        n = self.kernel_.shape[0]
-        if phenotypes.shape[0] != n:
-            raise ValueError("phenotypes must have one row per training individual")
-
-        base = cfg.alpha if alpha is None else float(alpha)
-        current = base if base > 0 else 1e-6
+        plan = self.config.precision_plan
+        started = time.perf_counter()
         # tile-grid copy sharing the off-diagonal tile objects with the
         # kernel: regularization only allocates new diagonal tiles, and
         # the factorization below works on its own workspace copy
         regularized = self.kernel_.shallow_copy()
         regularized.add_diagonal(current)
-
-        self.runtime.clear_phase("associate")
         self.regularization_boosts_ = 0
         last_error: Exception | None = None
         for attempt in range(3):
@@ -322,7 +347,7 @@ class KRRSession:
                 fact = cholesky(regularized,
                                 working_precision=plan.working_precision,
                                 precision_map=pmap,
-                                runtime=self.runtime, phase="associate")
+                                runtime=self.runtime, phase=phase)
                 break
             except np.linalg.LinAlgError as exc:
                 last_error = exc
@@ -338,22 +363,118 @@ class KRRSession:
                 "the regularized kernel matrix remained indefinite under the "
                 "chosen precision plan even after boosting alpha"
             ) from last_error
+        self.factorization_ = fact
+        self.factorization_count_ += 1
+        self._cg_ref_alpha = current
+        self._add_seconds("factor", time.perf_counter() - started)
+        return fact, current
+
+    def _panel_solve(self, y_centered: np.ndarray,
+                     phase: str = "associate") -> np.ndarray:
+        """Tiled POTRS of a phenotype panel against ``factorization_``.
+
+        The panel streams through per tile row, as per-row TRSM/GEMM
+        tasks on the session runtime.
+        """
+        fact = self.factorization_
+        started = time.perf_counter()
+        panel = TileMatrix.from_dense(y_centered, fact.factor.tile_size,
+                                      Precision.FP64)
+        solved = solve_cholesky(
+            fact, panel, precision=self.config.precision_plan.working_precision,
+            runtime=self.runtime, phase=phase)
+        weights = _panel_rows(solved)
+        self._add_seconds("solve", time.perf_counter() - started)
+        return weights
+
+    def associate(self, phenotypes: np.ndarray,
+                  alpha: float | None = None) -> np.ndarray:
+        """Factorize/solve ``(K + alpha*I) W = Y_c`` (Algorithm 3).
+
+        ``alpha`` overrides ``config.alpha`` for this call, which is how
+        the cross-validation grid sweeps the regularization axis over a
+        single Build.
+
+        The solver route is ``config.solver`` (or ``REPRO_SOLVER``):
+
+        * ``"direct"`` — one tiled mixed-precision Cholesky per alpha
+          (see :meth:`_direct_factorize`) plus the tiled panel solve.
+        * ``"cg"`` — factor **once**: the first associate takes the
+          direct route (bitwise identical to ``"direct"``) and retains
+          its factor as the CG reference; every later alpha is solved
+          by :func:`~repro.linalg.cg.cg_solve` preconditioned with that
+          factor — O(n^2) per iteration instead of O(n^3/3) per alpha.
+          A re-associate at exactly the reference alpha reuses the
+          factor with a direct solve; a CG solve that fails to reach
+          ``config.cg_tol`` within ``config.cg_max_iters`` falls back
+          to a fresh direct factorization (counted in
+          ``cg_fallbacks_``), which becomes the new reference.
+        """
+        if self.kernel_ is None:
+            raise RuntimeError("build() must be called before associate()")
+        cfg = self.config
+        plan = cfg.precision_plan
+        phenotypes = np.asarray(phenotypes, dtype=np.float64)
+        if phenotypes.ndim == 1:
+            phenotypes = phenotypes[:, None]
+        n = self.kernel_.shape[0]
+        if phenotypes.shape[0] != n:
+            raise ValueError("phenotypes must have one row per training individual")
+
+        base = cfg.alpha if alpha is None else float(alpha)
+        requested = base if base > 0 else 1e-6
+        solver = resolve_solver(cfg.solver)
 
         y_means = phenotypes.mean(axis=0)
         y_centered = phenotypes - y_means[None, :]
-        # the weight-panel solve runs tiled against the tiled factors:
-        # the phenotype panel streams through per tile row, as per-row
-        # TRSM/GEMM tasks on the session runtime
-        panel = TileMatrix.from_dense(y_centered, fact.factor.tile_size,
-                                      Precision.FP64)
-        solved = solve_cholesky(fact, panel, precision=plan.working_precision,
-                                runtime=self.runtime, phase="associate")
-        weights = _panel_rows(solved)
 
-        self.factorization_ = fact
+        self.runtime.clear_phase("associate")
+        self.cg_result_ = None
+        weights: np.ndarray | None = None
+        current = requested
+
+        if (solver == "cg" and self.factorization_ is not None
+                and self._cg_ref_alpha is not None):
+            if requested == self._cg_ref_alpha:
+                # the reference factor *is* K + requested*I — the direct
+                # tiled solve is cheaper than any CG iteration and
+                # bitwise identical to the direct route
+                weights = self._panel_solve(y_centered)
+            else:
+                # warm start from the previous solution when this is a
+                # re-solve of the *same* centered phenotypes at a new
+                # shift: the leftover residual is (alpha_prev-alpha)*w,
+                # typically far below 1, saving several iterations of a
+                # regularization sweep
+                x0 = None
+                if (self._cg_last_y is not None and self.weights_ is not None
+                        and self.weights_.shape == y_centered.shape
+                        and np.array_equal(self._cg_last_y, y_centered)):
+                    x0 = self.weights_
+                started = time.perf_counter()
+                result = cg_solve(
+                    self.kernel_, y_centered, alpha=requested,
+                    preconditioner=self.factorization_,
+                    tol=cfg.cg_tol, max_iterations=cfg.cg_max_iters,
+                    precision=plan.working_precision,
+                    runtime=self.runtime, phase="associate", x0=x0)
+                self._add_seconds("solve", time.perf_counter() - started)
+                self.cg_result_ = result
+                if result.converged:
+                    weights = result.x
+                else:
+                    # automatic fallback: refactorize at the requested
+                    # alpha (the fresh factor becomes the new reference)
+                    self.cg_fallbacks_ += 1
+
+        if weights is None:
+            _, current = self._direct_factorize(requested)
+            weights = self._panel_solve(y_centered)
+
         self.weights_ = weights
         self.y_means_ = y_means
         self.alpha_ = current
+        self._cg_last_y = y_centered
 
         # a (re-)associate resets the associate/predict accounting while
         # keeping the Build contribution.  The Associate numbers come
@@ -486,6 +607,7 @@ class KRRSession:
                         train_cache=None) -> np.ndarray:
         """The streamed Predict loop shared by solo and micro-batched paths."""
         cfg = self.config
+        started = time.perf_counter()
         wp = cfg.precision_plan.working_precision
         n_train = self.training_genotypes_.shape[0]
         nph = self.weights_.shape[1]
@@ -511,6 +633,7 @@ class KRRSession:
                 by_prec[prec] = by_prec.get(prec, 0.0) + fl
 
         self._account_predict(flops, by_prec, phase=phase)
+        self._add_seconds(phase, time.perf_counter() - started)
         return predictions + self.y_means_[None, :]
 
     def _account_predict(self, flops: float,
@@ -537,12 +660,14 @@ class KRRSession:
         """
         genotypes = np.asarray(genotypes)
         self._check_test_cohort(genotypes, confounders)
+        started = time.perf_counter()
         builder = self._builder(self.gamma_, trace_phase="predict")
         result = builder.build_cross(
             genotypes, self.training_genotypes_,
             confounders, self.training_confounders_,
         )
         self._account_predict(result.flops, result.flops_by_precision)
+        self._add_seconds("predict", time.perf_counter() - started)
         return result
 
     def predict_with_kernel(self, cross: BuildResult | np.ndarray) -> np.ndarray:
@@ -550,6 +675,7 @@ class KRRSession:
         if self.weights_ is None:
             raise RuntimeError("fit() must be called before predict()")
         cfg = self.config
+        started = time.perf_counter()
         wp = cfg.precision_plan.working_precision
         k_test = cross.kernel if isinstance(cross, BuildResult) else np.asarray(cross)
         gemm_fl = 2.0 * k_test.shape[0] * k_test.shape[1] * self.weights_.shape[1]
@@ -558,6 +684,7 @@ class KRRSession:
                            runtime=self.runtime, phase="predict",
                            flops_detail={wp: gemm_fl})
         self._account_predict(gemm_fl, {wp: gemm_fl})
+        self._add_seconds("predict", time.perf_counter() - started)
         return predictions + self.y_means_[None, :]
 
     def fit_predict(self, train_genotypes: np.ndarray,
@@ -578,16 +705,40 @@ class KRRSession:
         Once ``K + alpha*I`` is factorized, each additional phenotype
         panel costs only two triangular solves against the tiled
         factors (Sec. V-B3).
+
+        When the last :meth:`associate` solved by CG (``alpha_`` differs
+        from the reference factor's regularization), the extra panels
+        go the same way: a preconditioned CG solve at ``alpha_``, with
+        the same direct-refactorization fallback on non-convergence.
         """
         if self.factorization_ is None:
             raise RuntimeError("fit() must be called before reusing the factors")
+        cfg = self.config
+        wp = cfg.precision_plan.working_precision
         phenotypes = np.asarray(phenotypes, dtype=np.float64)
         if phenotypes.ndim == 1:
             phenotypes = phenotypes[:, None]
         y_centered = phenotypes - phenotypes.mean(axis=0, keepdims=True)
-        return solve_cholesky(self.factorization_, y_centered,
-                              precision=self.config.precision_plan.working_precision,
-                              runtime=self.runtime, phase="solve")
+        if (self.kernel_ is not None and self.alpha_ is not None
+                and self._cg_ref_alpha is not None
+                and self.alpha_ != self._cg_ref_alpha):
+            started = time.perf_counter()
+            result = cg_solve(self.kernel_, y_centered, alpha=self.alpha_,
+                              preconditioner=self.factorization_,
+                              tol=cfg.cg_tol, max_iterations=cfg.cg_max_iters,
+                              precision=wp, runtime=self.runtime,
+                              phase="solve")
+            self._add_seconds("solve", time.perf_counter() - started)
+            if result.converged:
+                return result.x
+            self.cg_fallbacks_ += 1
+            _, self.alpha_ = self._direct_factorize(self.alpha_, phase="solve")
+        started = time.perf_counter()
+        solved = solve_cholesky(self.factorization_, y_centered,
+                                precision=wp,
+                                runtime=self.runtime, phase="solve")
+        self._add_seconds("solve", time.perf_counter() - started)
+        return solved
 
     # ------------------------------------------------------------------
     # fitted-model artifacts
@@ -603,6 +754,13 @@ class KRRSession:
         disturb exported models).  See
         :class:`~repro.gwas.model.FittedModel` for the save/load
         contract.
+
+        Note: when the last associate solved by CG, the exported factor
+        is the *reference* factor ``K + alpha_ref*I`` (the CG
+        preconditioner), not ``K + alpha*I`` — the weight panel is the
+        converged CG solution either way, so restored sessions predict
+        identically; only ``from_model(...).solve_additional_phenotypes``
+        reverts to solving against the stored factor's regularization.
         """
         from repro.gwas.model import FittedModel
 

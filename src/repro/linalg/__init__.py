@@ -12,6 +12,9 @@ objects with a per-tile precision mosaic:
   substitution and the full POTRS-style solve.
 * :func:`syrk`, :func:`gemm` — tiled drivers for the rank-k update and
   matrix multiply used by the RR and Build phases.
+* :func:`cg_solve`, :func:`kernel_matvec` — the tile-native
+  preconditioned conjugate-gradient solver behind factor-once
+  hyperparameter sweeps (``KRRConfig.solver="cg"``).
 * :func:`iterative_refinement_solve` — the classic mixed-precision
   iterative-refinement solver used as a reference comparison.
 """
@@ -20,6 +23,7 @@ from repro.linalg.kernels import tile_gemm, tile_potrf, tile_syrk, tile_trsm
 from repro.linalg.cholesky import CholeskyResult, cholesky, cholesky_flops
 from repro.linalg.solve import solve_cholesky, solve_triangular
 from repro.linalg.blas3 import gemm, syrk
+from repro.linalg.cg import CGResult, cg_solve, kernel_matvec, resolve_solver
 from repro.linalg.refinement import RefinementResult, iterative_refinement_solve
 
 __all__ = [
@@ -34,6 +38,10 @@ __all__ = [
     "solve_cholesky",
     "syrk",
     "gemm",
+    "cg_solve",
+    "CGResult",
+    "kernel_matvec",
+    "resolve_solver",
     "iterative_refinement_solve",
     "RefinementResult",
 ]

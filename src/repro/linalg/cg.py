@@ -1,0 +1,368 @@
+"""Tile-native mixed-precision preconditioned conjugate gradients.
+
+The hyperparameter sweeps of the paper's GWAS workflow solve
+``(K + alpha*I) w = y`` for a whole grid of regularizations against
+*one* kernel matrix.  The direct path pays one tiled Cholesky
+factorization per alpha — O(n^3/3) each — even though the operator
+changes only on its diagonal.  This module implements the factor-once
+alternative of ROADMAP item 4b:
+
+* factorize ``K + alpha_ref*I`` **once** in the session's low-precision
+  tile mosaic (the existing :func:`~repro.linalg.cholesky.cholesky`),
+* then solve every other alpha with preconditioned CG, using that
+  factor as the preconditioner (applied by the existing tiled
+  :func:`~repro.linalg.solve.solve_cholesky` in the working precision)
+  while the residuals and search directions iterate in FP64.
+
+Because ``M = L L^T ~= K + alpha_ref*I``, the preconditioned operator
+``M^{-1}(K + alpha*I)`` has eigenvalues ``(lam + alpha)/(lam +
+alpha_ref)`` clustered within ``[min(1, a/a_ref), max(1, a/a_ref)]`` —
+CG converges in a handful of iterations for any alpha near the
+reference, each iteration costing O(n^2) instead of O(n^3).
+
+The kernel matvec runs entirely on the TileMatrix/Runtime stack: one
+task per tile *row* (``acc = alpha*v_i + sum_j K[i,j] @ v_j``), with
+picklable :class:`~repro.parallel.descriptors.CgMatvecSpec` descriptors
+so the serial, threaded and process backends all drive it bitwise
+identically, and ``tile_deps`` declared per stored tile so store-backed
+kernels stay within their residency budget.  The per-row accumulation
+order is fixed (ascending ``j``), which makes the whole convergence
+history deterministic across execution modes, worker counts and store
+budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.linalg.cholesky import CholeskyResult
+from repro.linalg.kernels import gemm_flops
+from repro.linalg.solve import solve_cholesky
+from repro.parallel.descriptors import CgMatvecSpec, ProcessTaskSpec, TileInput
+from repro.precision.formats import Precision
+from repro.resilience.errors import TaskGroupError
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import AccessMode
+from repro.tiles.matrix import TileMatrix
+
+__all__ = [
+    "CGResult",
+    "SOLVER_ENV",
+    "SOLVER_MODES",
+    "cg_solve",
+    "kernel_matvec",
+    "resolve_solver",
+]
+
+#: Environment override for the session solver, mirroring
+#: ``REPRO_WORKERS`` / ``REPRO_EXECUTION`` — CI re-runs the whole suite
+#: under ``REPRO_SOLVER=cg`` without touching call sites.
+SOLVER_ENV = "REPRO_SOLVER"
+
+#: Solver routes accepted by :func:`resolve_solver` and
+#: ``KRRConfig.solver``.
+SOLVER_MODES = ("direct", "cg")
+
+
+def resolve_solver(solver: str | None = None) -> str:
+    """Resolve a solver route (explicit > ``REPRO_SOLVER`` > direct)."""
+    mode = solver or os.environ.get(SOLVER_ENV) or "direct"
+    if mode not in SOLVER_MODES:
+        raise ValueError(
+            f"solver must be one of {SOLVER_MODES}, got {mode!r}")
+    return mode
+
+
+@dataclass
+class CGResult:
+    """Solution and convergence history of one preconditioned CG solve.
+
+    Attributes
+    ----------
+    x:
+        FP64 solution panel (one column per right-hand side).
+    iterations:
+        Matvec count actually performed.
+    converged:
+        True when every column's relative residual reached ``tol``.
+    residual_norms:
+        Per-iteration maximum (over columns) of the relative residual
+        ``||b_j - A x_j|| / ||b_j||`` — recorded *before* the
+        iteration's update, so ``residual_norms[0]`` is 1.0 for a zero
+        initial guess.  Deterministic across execution modes.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+# ----------------------------------------------------------------------
+# the DAG matvec
+# ----------------------------------------------------------------------
+def _row_body(kernel: TileMatrix, i: int, alpha: float,
+              row: slice, nt: int):
+    """Closure computing ``alpha*v_i + sum_j K[i,j] @ v_j`` for row ``i``.
+
+    The loop order (ascending ``j``) and operation order (``acc = acc +
+    tile @ block``) are the bitwise contract shared with
+    :class:`~repro.parallel.descriptors.CgMatvecSpec`.
+
+    Symmetric upper-triangle reads fetch the *stored* lower tile and
+    multiply through a transposed no-copy view — the same F-ordered
+    float64 layout ``get_tile``'s mirrored copy would expose, so the
+    BLAS call (and therefore the result) is bitwise unchanged while the
+    per-access tile copy disappears from the iteration critical path.
+    """
+    layout = kernel.layout
+    # static per row: column slices and stored-key/transpose pairs
+    # (get_tile still runs per execution so spilled tiles fault in)
+    cols = [(layout.tile_slice(i, j)[1], *kernel._stored_key(i, j))
+            for j in range(nt)]
+
+    def body(v, _out=None):
+        acc = alpha * v[row]
+        for cs, key, transposed in cols:
+            t64 = kernel.get_tile(*key).float64_values()
+            if transposed:
+                t64 = t64.T
+            acc = acc + t64 @ v[cs]
+        return acc
+
+    return body
+
+
+def kernel_matvec(kernel: TileMatrix, v: np.ndarray, alpha: float = 0.0,
+                  runtime: Runtime | None = None,
+                  phase: str = "solve") -> np.ndarray:
+    """``(K + alpha*I) @ v`` on a tiled kernel, in FP64.
+
+    With ``runtime`` the product is inserted as one task per tile row —
+    each task reads the full FP64 vector handle and the row's kernel
+    tiles (declared via ``tile_deps`` so store-backed kernels pin and
+    fault tiles under their budget; carried as
+    :class:`~repro.parallel.descriptors.CgMatvecSpec` descriptors so
+    worker processes execute the identical arithmetic).  Without a
+    runtime the same loop runs inline on the caller's thread.  Both
+    paths are bitwise identical.
+    """
+    if kernel.shape[0] != kernel.shape[1]:
+        raise ValueError("kernel_matvec requires a square kernel matrix")
+    v = np.asarray(v, dtype=np.float64)
+    squeeze = v.ndim == 1
+    if squeeze:
+        v = v[:, None]
+    if v.shape[0] != kernel.shape[0]:
+        raise ValueError("vector rows must match the kernel order")
+    layout = kernel.layout
+    nt = layout.tile_rows
+    alpha = float(alpha)
+    nrhs = v.shape[1]
+
+    if runtime is None:
+        rows = [
+            _row_body(kernel, i, alpha, layout.tile_slice(i, 0)[0], nt)(v)
+            for i in range(nt)
+        ]
+        out = np.vstack(rows)
+        return out[:, 0] if squeeze else out
+
+    runtime.require_drained("kernel_matvec()")
+    ns = runtime.namespace("cgmv")
+    binding = kernel._binding
+    if binding is not None:
+        try:
+            runtime.attach_store(kernel.store)
+        except RuntimeError:
+            pass  # foreign hooks: pinning skipped, reloads stay bitwise
+
+    v_handle = runtime.register_data(f"{ns}v", payload=v)
+    out_handles = []
+    for i in range(nt):
+        row = layout.tile_slice(i, 0)[0]
+        h = runtime.register_data(f"{ns}y({i})",
+                                  shape=(row.stop - row.start, nrhs))
+        out_handles.append(h)
+        keys = [kernel._stored_key(i, j) for j in range(nt)]
+        if binding is None:
+            deps = ()
+        else:
+            deps = tuple((binding, key) for key, _ in keys)
+        runtime.insert_task(
+            "cg_matvec",
+            (v_handle, AccessMode.READ),
+            (h, AccessMode.WRITE),
+            body=_row_body(kernel, i, alpha, row, nt),
+            flops=gemm_flops(row.stop - row.start, nrhs, layout.cols)
+            + (row.stop - row.start) * nrhs,
+            precision=Precision.FP64, tag=(i,),
+            tile_deps=deps,
+            pspec=ProcessTaskSpec(
+                CgMatvecSpec(alpha, row.start, row.stop,
+                             transposes=tuple(t for _, t in keys)),
+                mode="both",
+                # ship the *stored* tiles; the spec's transpose mask
+                # mirrors the upper triangle exactly like the closure
+                aux=tuple(TileInput(kernel, key) for key, _ in keys)),
+        )
+    try:
+        runtime.run(phase=phase)
+        out = np.vstack([h.payload for h in out_handles])
+    except TaskGroupError:
+        # library DAGs are raise-and-discard: a retried matvec inserts
+        # a fresh graph, so don't leave the failed subgraph pending
+        runtime.reset_graph()
+        raise
+    finally:
+        runtime.release(ns)
+    return out[:, 0] if squeeze else out
+
+
+# ----------------------------------------------------------------------
+# preconditioned CG
+# ----------------------------------------------------------------------
+def cg_solve(
+    kernel: TileMatrix,
+    rhs: np.ndarray,
+    alpha: float,
+    preconditioner: CholeskyResult | TileMatrix | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+    precision: Precision | str = Precision.FP32,
+    runtime: Runtime | None = None,
+    phase: str = "solve",
+    x0: np.ndarray | None = None,
+) -> CGResult:
+    """Solve ``(K + alpha*I) X = B`` by tiled preconditioned CG.
+
+    Parameters
+    ----------
+    kernel:
+        The (symmetric positive semi-definite) tiled kernel ``K`` —
+        *without* the diagonal shift; ``alpha`` is applied analytically
+        inside the matvec, which is what lets one kernel serve the
+        whole regularization grid.
+    rhs:
+        Right-hand side vector or panel (FP64).
+    preconditioner:
+        Tiled Cholesky factor of ``K + alpha_ref*I`` (any storage
+        precision — the session passes its low-precision mosaic
+        factor), applied with the tiled
+        :func:`~repro.linalg.solve.solve_cholesky` in ``precision``.
+        ``None`` runs unpreconditioned CG.
+    tol:
+        Convergence threshold on the relative residual
+        ``||b - A x|| / ||b||``, per column; the solve converges when
+        every column is below it.
+    precision:
+        Working precision of the preconditioner application (the
+        triangular solves); the CG recurrences themselves stay FP64.
+    runtime:
+        Session runtime: each matvec inserts a per-tile-row task DAG
+        whose FP64 flops land in ``phase``'s trace.  The preconditioner
+        sweeps run inline either way (see below).
+    x0:
+        Optional warm-start guess (same shape as ``rhs``).  For shifted
+        systems the previous shift's solution leaves only the residual
+        ``(alpha_prev - alpha)·x_prev``, typically cutting several
+        iterations off a regularization sweep; costs one extra matvec
+        to form the initial residual.  ``None`` starts from zero.
+
+    Multiple right-hand sides run as simultaneous independent
+    recurrences (per-column scalars, one shared matvec per iteration).
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+    precision = Precision.from_string(precision)
+    b = np.asarray(rhs, dtype=np.float64)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b[:, None]
+    if b.shape[0] != kernel.shape[0]:
+        raise ValueError("right-hand side rows must match the kernel order")
+
+    factor: TileMatrix | None
+    if isinstance(preconditioner, CholeskyResult):
+        factor = preconditioner.factor
+    else:
+        factor = preconditioner
+
+    # The preconditioner sweeps run *inline* (no task DAG): a CG
+    # iteration applies them once per iteration on the critical path,
+    # where per-task scheduling overhead would swamp the O(n^2) BLAS
+    # work — and the inline tiled solve is bitwise identical to the
+    # tasked one (the solver test suite asserts exactly that), so the
+    # convergence history does not depend on this choice.  Only the
+    # matvecs go through the runtime, carrying the traced CG flops.
+    def apply_preconditioner(r: np.ndarray) -> np.ndarray:
+        if factor is None:
+            return r
+        return np.asarray(
+            solve_cholesky(factor, r, precision=precision),
+            dtype=np.float64)
+
+    norm_b = np.linalg.norm(b, axis=0)
+    scale = np.where(norm_b > 0, norm_b, 1.0)
+
+    if x0 is None:
+        x = np.zeros_like(b)
+        r = b.copy()  # b - A @ 0
+    else:
+        x = np.asarray(x0, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape != b.shape:
+            raise ValueError("x0 must match the right-hand side shape")
+        x = x.copy()
+        r = b - kernel_matvec(kernel, x, alpha=alpha, runtime=runtime,
+                              phase=phase)
+    p = None
+    rho_prev = None
+    residual_norms: list[float] = []
+    converged = False
+    iterations = 0
+
+    for _ in range(max_iterations):
+        rel = np.linalg.norm(r, axis=0) / scale
+        residual_norms.append(float(rel.max()))
+        if bool(np.all(rel <= tol)):
+            converged = True
+            break
+        z = apply_preconditioner(r)
+        rho = np.einsum("ij,ij->j", r, z)
+        if p is None:
+            p = z.copy()
+        else:
+            beta = np.where(rho_prev != 0.0, rho / rho_prev, 0.0)
+            p = z + beta[None, :] * p
+        q = kernel_matvec(kernel, p, alpha=alpha, runtime=runtime,
+                          phase=phase)
+        pq = np.einsum("ij,ij->j", p, q)
+        gamma = np.where(pq != 0.0, rho / pq, 0.0)
+        x = x + gamma[None, :] * p
+        r = r - gamma[None, :] * q
+        rho_prev = rho
+        iterations += 1
+    else:
+        rel = np.linalg.norm(r, axis=0) / scale
+        residual_norms.append(float(rel.max()))
+        converged = bool(np.all(rel <= tol))
+
+    return CGResult(
+        x=x[:, 0] if squeeze else x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=residual_norms,
+    )

@@ -28,6 +28,24 @@ from repro.runtime.task import AccessMode
 from repro.tiles.matrix import TileMatrix
 
 
+def _diag_trtrs(diag: np.ndarray, acc: np.ndarray, i: int,
+                lower_solve: bool) -> np.ndarray:
+    """Diagonal-tile triangular solve via LAPACK ``dtrtrs`` directly.
+
+    This is the exact routine :func:`scipy.linalg.solve_triangular`
+    dispatches to for float64 operands, so the result is bitwise
+    identical — calling it without the scipy wrapper removes per-call
+    validation overhead from the blockwise solve's inner loop (which a
+    CG iteration enters once per tile row, per sweep).
+    """
+    out, info = scipy.linalg.lapack.dtrtrs(diag, acc,
+                                           lower=lower_solve, trans=0)
+    if info != 0:
+        raise scipy.linalg.LinAlgError(
+            f"triangular solve failed on diagonal tile {i} (info={info})")
+    return out
+
+
 def _rhs_blocks(factor: TileMatrix, rhs: TileMatrix | np.ndarray,
                 precision: Precision) -> dict[int, np.ndarray]:
     """Split the right-hand side into per-tile-row blocks.
@@ -226,13 +244,19 @@ def solve_triangular(factor: TileMatrix | np.ndarray,
         for i in range(nt):
             acc = x[i].copy()
             for j in range(i):
-                lij = factor.get_tile(i, j).to_float64() if lower else \
-                    factor.get_tile(j, i).to_float64().T
+                # read-only factor accesses: the no-copy float64 view is
+                # bitwise identical to to_float64() and skips a tile-size
+                # defensive copy per block on the CG critical path
+                lij = factor.get_tile(i, j).float64_values() if lower else \
+                    factor.get_tile(j, i).float64_values().T
                 acc -= lij @ x[j]
                 acc = np.asarray(quantize(acc, precision), dtype=np.float64)
-            lii = factor.get_tile(i, i).to_float64()
-            diag = lii if lower else lii.T
-            x[i] = scipy.linalg.solve_triangular(diag, acc, lower=True)
+            # hand LAPACK an F-ordered diagonal (cached on the tile):
+            # dtrtrs converts C-ordered operands on every call otherwise
+            tile_ii = factor.get_tile(i, i)
+            diag = tile_ii.fortran64_values() if lower else \
+                tile_ii.float64_values().T
+            x[i] = _diag_trtrs(diag, acc, i, lower_solve=True)
             x[i] = np.asarray(quantize(x[i], precision), dtype=np.float64)
     else:
         # backward substitution over tile rows
@@ -240,13 +264,14 @@ def solve_triangular(factor: TileMatrix | np.ndarray,
             acc = x[i].copy()
             for j in range(i + 1, nt):
                 # op(L)[i, j] with op = transpose of a lower factor
-                lji = factor.get_tile(j, i).to_float64() if lower else \
-                    factor.get_tile(i, j).to_float64().T
+                lji = factor.get_tile(j, i).float64_values() if lower else \
+                    factor.get_tile(i, j).float64_values().T
                 acc -= lji.T @ x[j]
                 acc = np.asarray(quantize(acc, precision), dtype=np.float64)
-            lii = factor.get_tile(i, i).to_float64()
-            diag = (lii if lower else lii.T).T
-            x[i] = scipy.linalg.solve_triangular(diag, acc, lower=False)
+            tile_ii = factor.get_tile(i, i)
+            diag = tile_ii.float64_values().T if lower else \
+                tile_ii.fortran64_values()
+            x[i] = _diag_trtrs(diag, acc, i, lower_solve=False)
             x[i] = np.asarray(quantize(x[i], precision), dtype=np.float64)
 
     if tiled_rhs:

@@ -55,6 +55,7 @@ __all__ = [
     "ALL_SPEC_KINDS",
     "BodySpec",
     "BuildRowSpec",
+    "CgMatvecSpec",
     "DenseGemmSpec",
     "GemmTrailSpec",
     "ObjectInput",
@@ -270,6 +271,36 @@ class BuildRowSpec(BodySpec):
 
 
 @dataclass(frozen=True)
+class CgMatvecSpec(BodySpec):
+    """One tile row of the CG kernel matvec ``(K + alpha*I) @ v``.
+
+    Receives the full FP64 vector/panel handle (plus its unwritten
+    output handle) and the row's *stored* kernel tiles as aux inputs,
+    in ascending column order; ``transposes[j]`` marks symmetric
+    upper-triangle columns whose stored lower tile is multiplied
+    through a transposed view.  The accumulation order is the bitwise
+    contract shared with the closure body in :mod:`repro.linalg.cg`.
+    """
+
+    alpha: float
+    row_start: int
+    row_stop: int
+    transposes: tuple = ()
+
+    def run(self, v: np.ndarray, _out, *tiles: Tile) -> np.ndarray:
+        acc = self.alpha * v[self.row_start:self.row_stop]
+        c0 = 0
+        for j, tile in enumerate(tiles):
+            t64 = tile.float64_values()
+            if j < len(self.transposes) and self.transposes[j]:
+                t64 = t64.T
+            width = t64.shape[1]
+            acc = acc + t64 @ v[c0:c0 + width]
+            c0 += width
+        return acc
+
+
+@dataclass(frozen=True)
 class DenseGemmSpec(BodySpec):
     """Tiled mixed-precision GEMM of two dense operands (blas3 path)."""
 
@@ -295,5 +326,6 @@ ALL_SPEC_KINDS = (
     SolveGemmSpec,
     SolveTrsmSpec,
     BuildRowSpec,
+    CgMatvecSpec,
     DenseGemmSpec,
 )

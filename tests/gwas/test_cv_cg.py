@@ -1,0 +1,153 @@
+"""Factor-once CG sweeps: grid_search_cv routing, counters, timings.
+
+The sweep contract: with ``solver="cg"`` each (fold, γ) session pays one
+Build and **one** factorization, solves every other α by preconditioned
+CG, selects the same (α, γ) as the direct route, and reports per-phase
+wall-clock plus factorization/fallback counters on the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gwas.config import KRRConfig
+from repro.gwas.cv import CrossValidationResult, grid_search_cv
+from repro.gwas.session import KRRSession
+from repro.linalg.cg import SOLVER_ENV
+
+ALPHAS = (0.25, 1.0, 4.0)
+GAMMAS = (0.01, 0.05)
+FOLDS = 3
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    rng = np.random.default_rng(7)
+    x = rng.integers(0, 3, size=(120, 30)).astype(np.float64)
+    y = x[:, :5] @ rng.standard_normal(5) + 0.3 * rng.standard_normal(120)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def direct_result(cohort):
+    x, y = cohort
+    return grid_search_cv(x, y, alphas=ALPHAS, gammas=GAMMAS, n_folds=FOLDS,
+                          seed=0, solver="direct")
+
+
+@pytest.fixture(scope="module")
+def cg_result(cohort):
+    x, y = cohort
+    return grid_search_cv(x, y, alphas=ALPHAS, gammas=GAMMAS, n_folds=FOLDS,
+                          seed=0, solver="cg")
+
+
+class TestValidation:
+    def test_n_folds(self, cohort):
+        with pytest.raises(ValueError, match="n_folds"):
+            grid_search_cv(*cohort, n_folds=1)
+
+    def test_empty_alphas(self, cohort):
+        with pytest.raises(ValueError, match="alphas"):
+            grid_search_cv(*cohort, alphas=[])
+
+    def test_empty_gammas(self, cohort):
+        with pytest.raises(ValueError, match="gammas"):
+            grid_search_cv(*cohort, gammas=[])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_non_positive_alpha(self, cohort, bad):
+        with pytest.raises(ValueError, match="alphas must be positive"):
+            grid_search_cv(*cohort, alphas=[1.0, bad])
+
+    def test_bogus_solver(self, cohort):
+        with pytest.raises(ValueError, match="solver"):
+            grid_search_cv(*cohort, solver="gmres")
+
+
+class TestFactorOnceSweep:
+    def test_same_selection(self, direct_result, cg_result):
+        assert (cg_result.best_alpha, cg_result.best_gamma) == \
+            (direct_result.best_alpha, direct_result.best_gamma)
+
+    def test_scores_close(self, direct_result, cg_result):
+        for key, direct_score in direct_result.scores.items():
+            assert cg_result.scores[key] == pytest.approx(
+                direct_score, rel=1e-2)
+
+    def test_factorization_counts(self, direct_result, cg_result):
+        sessions = FOLDS * len(GAMMAS)
+        assert direct_result.factorizations == sessions * len(ALPHAS)
+        assert cg_result.factorizations == sessions + cg_result.cg_fallbacks
+        assert direct_result.cg_fallbacks == 0
+
+    def test_solver_reported(self, direct_result, cg_result):
+        assert direct_result.solver == "direct"
+        assert cg_result.solver == "cg"
+
+    def test_phase_seconds_recorded(self, direct_result, cg_result):
+        for result in (direct_result, cg_result):
+            for key in ("build", "factor", "solve", "predict"):
+                assert result.phase_seconds.get(key, 0.0) > 0.0
+        # result dataclass defaults stay backward compatible
+        bare = CrossValidationResult(best_alpha=1.0, best_gamma=0.1,
+                                     best_score=0.0)
+        assert bare.phase_seconds == {} and bare.factorizations == 0
+
+    def test_fold_scores_complete(self, cg_result):
+        for errs in cg_result.fold_scores.values():
+            assert len(errs) == FOLDS
+
+    def test_env_opt_in(self, cohort, monkeypatch, cg_result):
+        monkeypatch.setenv(SOLVER_ENV, "cg")
+        x, y = cohort
+        result = grid_search_cv(x, y, alphas=ALPHAS, gammas=GAMMAS[:1],
+                                n_folds=FOLDS, seed=0)
+        assert result.solver == "cg"
+        assert result.factorizations == FOLDS + result.cg_fallbacks
+
+
+class TestCgSessionEnvironments:
+    """CG sessions under process execution and tight store budgets."""
+
+    def _weights(self, config, cohort):
+        x, y = cohort
+        session = KRRSession(config)
+        session.build(x)
+        for alpha in ALPHAS:
+            w = session.associate(y, alpha=alpha)
+        return session, w
+
+    def test_process_backend_bitwise(self, cohort):
+        ref, w_ref = self._weights(
+            KRRConfig(tile_size=32, solver="cg", execution="serial"), cohort)
+        proc, w_proc = self._weights(
+            KRRConfig(tile_size=32, solver="cg", execution="process",
+                      workers=2), cohort)
+        np.testing.assert_array_equal(w_proc, w_ref)
+        assert proc.factorization_count_ == ref.factorization_count_
+        assert proc.cg_fallbacks_ == ref.cg_fallbacks_
+        if proc.cg_result_ is not None and ref.cg_result_ is not None:
+            assert proc.cg_result_.residual_norms == \
+                ref.cg_result_.residual_norms
+
+    def test_store_budget_bitwise(self, cohort):
+        ref, w_ref = self._weights(KRRConfig(tile_size=32, solver="cg"),
+                                   cohort)
+        mosaic = ref.kernel_.nbytes()
+        oo, w_oo = self._weights(
+            KRRConfig(tile_size=32, solver="cg", workers=2,
+                      store_budget_bytes=mosaic // 2), cohort)
+        np.testing.assert_array_equal(w_oo, w_ref)
+        stats = oo.store_stats()
+        assert stats.spills > 0
+        assert oo.factorization_count_ == ref.factorization_count_
+
+    def test_cg_iteration_flops_visible(self, cohort):
+        from repro.precision.formats import Precision
+
+        session, _ = self._weights(KRRConfig(tile_size=32, solver="cg"),
+                                   cohort)
+        # the FP64 entry carries the CG matvec work (the direct route's
+        # associate runs entirely in the working precision)
+        assert session.flops_by_precision.get(Precision.FP64, 0.0) > 0.0
+        assert session.phase_flops["associate"] > 0.0

@@ -1,0 +1,311 @@
+"""Tests for the tile-native preconditioned CG solver.
+
+The contract under test, per ROADMAP item 4b:
+
+* CG with the session's low-precision tiled Cholesky factor as the
+  preconditioner solves ``(K + alpha*I) x = b`` to the requested
+  tolerance on ill-conditioned kernels, matching the direct tiled
+  Cholesky solve and the iterative-refinement reference.
+* The convergence history is deterministic — bitwise identical across
+  serial / threaded / process execution and store residency budgets.
+* Non-convergence in a session falls back to the direct factorization
+  and matches the direct route exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gwas.config import KRRConfig, PrecisionPlan
+from repro.gwas.session import KRRSession
+from repro.linalg.cg import (
+    SOLVER_ENV,
+    cg_solve,
+    kernel_matvec,
+    resolve_solver,
+)
+from repro.linalg.cholesky import cholesky
+from repro.linalg.refinement import iterative_refinement_solve
+from repro.linalg.solve import solve_cholesky
+from repro.precision.formats import Precision
+from repro.runtime.runtime import Runtime
+from repro.store import TileStore
+from repro.tiles.matrix import TileMatrix
+
+TILE = 16
+N = 4 * TILE
+
+
+def _ill_kernel(n=N, seed=0, decades=6):
+    """An SPD 'kernel' with eigenvalues spanning ``decades`` decades."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    lam = np.logspace(0, -decades, n)
+    return (q * lam) @ q.T
+
+
+def _tiled(dense):
+    return TileMatrix.from_dense(dense, TILE, Precision.FP64, symmetric=True)
+
+
+def _preconditioner(kernel_dense, alpha_ref, plan):
+    """The session-style factor of ``K + alpha_ref*I`` in the plan's mosaic."""
+    reg = _tiled(kernel_dense + alpha_ref * np.eye(kernel_dense.shape[0]))
+    pmap = plan.precision_map(reg.layout, matrix=reg)
+    return cholesky(reg, working_precision=plan.working_precision,
+                    precision_map=pmap)
+
+
+PLANS = {
+    "fp64": PrecisionPlan.fp64(),
+    "fp32": PrecisionPlan.fp32(),
+    "adaptive-fp16": PrecisionPlan.adaptive_fp16(),
+    "adaptive-fp8": PrecisionPlan.adaptive_fp8(),
+}
+
+
+@pytest.fixture(scope="module")
+def process_rt():
+    rt = Runtime(execution="process", workers=2)
+    yield rt
+    rt.close()
+
+
+class TestKernelMatvec:
+    def test_matches_dense(self, rng):
+        k = _ill_kernel(seed=3, decades=2)
+        kernel = _tiled(k)
+        v = rng.standard_normal(N)
+        out = kernel_matvec(kernel, v, alpha=0.7)
+        np.testing.assert_allclose(out, (k + 0.7 * np.eye(N)) @ v,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_panel_rhs(self, rng):
+        k = _ill_kernel(seed=4, decades=2)
+        v = rng.standard_normal((N, 3))
+        out = kernel_matvec(_tiled(k), v)
+        np.testing.assert_allclose(out, k @ v, rtol=1e-12, atol=1e-12)
+
+    def test_dag_bitwise_matches_inline(self, rng):
+        k = _ill_kernel(seed=5, decades=3)
+        kernel = _tiled(k)
+        v = rng.standard_normal((N, 2))
+        inline = kernel_matvec(kernel, v, alpha=0.3)
+        rt = Runtime(execution="threaded", workers=3)
+        tasked = kernel_matvec(kernel, v, alpha=0.3, runtime=rt)
+        np.testing.assert_array_equal(tasked, inline)
+
+    def test_rejects_non_square(self, rng):
+        rect = TileMatrix.from_dense(rng.standard_normal((N, 2 * N)), TILE,
+                                     Precision.FP64)
+        with pytest.raises(ValueError, match="square"):
+            kernel_matvec(rect, rng.standard_normal(2 * N))
+
+    def test_rejects_mismatched_rows(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            kernel_matvec(_tiled(_ill_kernel(decades=1)),
+                          rng.standard_normal(N + 1))
+
+
+class TestCgValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            cg_solve(_tiled(_ill_kernel(decades=1)), np.ones(N), alpha=-1.0)
+
+    def test_bad_tol(self):
+        with pytest.raises(ValueError, match="tol"):
+            cg_solve(_tiled(_ill_kernel(decades=1)), np.ones(N), alpha=1.0,
+                     tol=0.0)
+
+    def test_bad_max_iterations(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            cg_solve(_tiled(_ill_kernel(decades=1)), np.ones(N), alpha=1.0,
+                     max_iterations=0)
+
+    def test_bad_rhs_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            cg_solve(_tiled(_ill_kernel(decades=1)), np.ones(N - 1), alpha=1.0)
+
+
+class TestResolveSolver:
+    def test_default_is_direct(self, monkeypatch):
+        monkeypatch.delenv(SOLVER_ENV, raising=False)
+        assert resolve_solver() == "direct"
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV, "cg")
+        assert resolve_solver() == "cg"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV, "cg")
+        assert resolve_solver("direct") == "direct"
+
+    def test_bogus_rejected(self, monkeypatch):
+        monkeypatch.setenv(SOLVER_ENV, "minres")
+        with pytest.raises(ValueError, match="solver"):
+            resolve_solver()
+
+    def test_config_knob_validated(self):
+        with pytest.raises(ValueError, match="solver"):
+            KRRConfig(solver="jacobi")
+        with pytest.raises(ValueError, match="cg_tol"):
+            KRRConfig(cg_tol=0.0)
+        with pytest.raises(ValueError, match="cg_max_iters"):
+            KRRConfig(cg_max_iters=0)
+
+
+class TestCgAccuracy:
+    """CG vs direct Cholesky vs iterative refinement, ill-conditioned K."""
+
+    @pytest.mark.parametrize("plan_name", list(PLANS), ids=list(PLANS))
+    def test_matches_direct_and_refinement(self, rng, plan_name):
+        plan = PLANS[plan_name]
+        k = _ill_kernel(seed=1)
+        # FP8 tile storage perturbs K by ~6% of the tile scale: the
+        # reference shift must dominate that noise to keep the
+        # preconditioner factorizable (the session's boost loop plays
+        # this role in production)
+        if plan_name == "adaptive-fp8":
+            alpha_ref, alpha = 0.25, 0.1
+        else:
+            alpha_ref, alpha = 1e-2, 3e-3
+        b = rng.standard_normal(N)
+        truth = np.linalg.solve(k + alpha * np.eye(N), b)
+
+        fact = _preconditioner(k, alpha_ref, plan)
+        res = cg_solve(_tiled(k), b, alpha=alpha, preconditioner=fact,
+                       tol=1e-10, max_iterations=300,
+                       precision=plan.working_precision)
+        assert res.converged, f"{plan_name}: {res.residual_norms[-5:]}"
+        # the matvec operator is exact FP64, so the converged CG answer
+        # tracks the true solution regardless of preconditioner quality
+        np.testing.assert_allclose(res.x, truth, rtol=1e-6, atol=1e-8)
+
+        # the direct tiled solve *of the same alpha* and the classic
+        # iterative-refinement reference agree with it
+        direct_fact = _preconditioner(k, alpha, PrecisionPlan.fp64())
+        direct = solve_cholesky(direct_fact, b, precision=Precision.FP64)
+        np.testing.assert_allclose(res.x, direct, rtol=1e-6, atol=1e-8)
+
+        ir = iterative_refinement_solve(k + alpha * np.eye(N), b,
+                                        factor_precision=Precision.FP32,
+                                        tol=1e-12, max_iterations=100)
+        np.testing.assert_allclose(res.x, ir.x, rtol=1e-5, atol=1e-7)
+
+    def test_preconditioner_pays(self, rng):
+        """The factor-preconditioned solve beats unpreconditioned CG."""
+        k = _ill_kernel(seed=2)
+        b = rng.standard_normal(N)
+        fact = _preconditioner(k, 1e-2, PrecisionPlan.fp32())
+        pre = cg_solve(_tiled(k), b, alpha=3e-3, preconditioner=fact,
+                       tol=1e-8, max_iterations=300)
+        bare = cg_solve(_tiled(k), b, alpha=3e-3, preconditioner=None,
+                        tol=1e-8, max_iterations=300)
+        assert pre.converged
+        assert pre.iterations < bare.iterations
+
+    def test_multi_rhs_matches_column_solves(self, rng):
+        k = _ill_kernel(seed=6, decades=4)
+        b = rng.standard_normal((N, 3))
+        fact = _preconditioner(k, 1e-2, PrecisionPlan.fp32())
+        panel = cg_solve(_tiled(k), b, alpha=5e-3, preconditioner=fact,
+                         tol=1e-10, max_iterations=300)
+        assert panel.converged
+        truth = np.linalg.solve(k + 5e-3 * np.eye(N), b)
+        np.testing.assert_allclose(panel.x, truth, rtol=1e-6, atol=1e-8)
+
+    def test_residual_history_shape(self, rng):
+        k = _ill_kernel(seed=7, decades=2)
+        b = rng.standard_normal(N)
+        fact = _preconditioner(k, 1e-2, PrecisionPlan.fp32())
+        res = cg_solve(_tiled(k), b, alpha=1e-2, preconditioner=fact,
+                       tol=1e-8, max_iterations=50)
+        assert res.residual_norms[0] == 1.0  # zero initial guess
+        assert res.final_residual <= 1e-8
+        assert len(res.residual_norms) == res.iterations + 1
+
+
+class TestCgDeterminism:
+    """Bitwise identical solves across execution modes and store budgets."""
+
+    def _reference(self, k, b, fact, plan):
+        return cg_solve(_tiled(k), b, alpha=4e-3, preconditioner=fact,
+                        tol=1e-9, max_iterations=300,
+                        precision=plan.working_precision)
+
+    @pytest.mark.parametrize("plan_name", ["fp32", "adaptive-fp16"],
+                             ids=["fp32", "adaptive-fp16"])
+    @pytest.mark.parametrize("mode", ["serial", "threaded", "process"])
+    @pytest.mark.parametrize("budget", ["none", "tight"],
+                             ids=["resident", "oocore"])
+    def test_history_bitwise_stable(self, rng, plan_name, mode, budget,
+                                    process_rt, request):
+        plan = PLANS[plan_name]
+        k = _ill_kernel(seed=8, decades=4)
+        b = np.random.default_rng(9).standard_normal((N, 2))
+        fact = _preconditioner(k, 1e-2, plan)
+        ref = self._reference(k, b, fact, plan)
+        assert ref.converged
+
+        kernel = _tiled(k)
+        if mode == "process":
+            rt = process_rt
+        else:
+            rt = Runtime(execution=mode, workers=1 if mode == "serial" else 3)
+        store = None
+        if budget == "tight":
+            # room for well under one tile row: the matvec must fault
+            # kernel tiles in and out under pinning, and still match
+            store = TileStore(budget_bytes=6 * TILE * TILE * 8)
+            kernel.attach_store(store)
+        try:
+            res = cg_solve(kernel, b, alpha=4e-3, preconditioner=fact,
+                           tol=1e-9, max_iterations=300,
+                           precision=plan.working_precision, runtime=rt)
+            if store is not None:
+                assert store.stats.spills > 0, "tight budget must spill"
+        finally:
+            if store is not None:
+                kernel.detach_store()
+                store.close()
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.iterations == ref.iterations
+        assert res.residual_norms == ref.residual_norms
+
+
+class TestSessionFallback:
+    """Non-converging CG sessions fall back to the direct factorization."""
+
+    def _cohort(self, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 3, size=(96, 40)).astype(np.float64)
+        y = rng.standard_normal(96)
+        return x, y
+
+    def test_fallback_triggers_and_matches_direct(self):
+        x, y = self._cohort()
+        # one iteration at a sub-fp64 tolerance cannot converge
+        cg_cfg = KRRConfig(tile_size=32, solver="cg", cg_tol=1e-15,
+                           cg_max_iters=1)
+        s_cg = KRRSession(cg_cfg)
+        s_cg.build(x)
+        s_cg.associate(y, alpha=1.0)
+        assert s_cg.factorization_count_ == 1 and s_cg.cg_fallbacks_ == 0
+        w = s_cg.associate(y, alpha=8.0)
+        assert s_cg.cg_fallbacks_ == 1
+        assert s_cg.factorization_count_ == 2
+        assert s_cg.cg_result_ is not None and not s_cg.cg_result_.converged
+
+        s_direct = KRRSession(KRRConfig(tile_size=32, solver="direct"))
+        s_direct.build(x)
+        w_direct = s_direct.associate(y, alpha=8.0)
+        np.testing.assert_array_equal(w, w_direct)
+
+    def test_converged_cg_skips_factorization(self):
+        x, y = self._cohort(seed=1)
+        s = KRRSession(KRRConfig(tile_size=32, solver="cg"))
+        s.build(x)
+        s.associate(y, alpha=1.0)
+        s.associate(y, alpha=2.0)
+        assert s.factorization_count_ == 1
+        assert s.cg_fallbacks_ == 0
+        assert s.cg_result_ is not None and s.cg_result_.converged

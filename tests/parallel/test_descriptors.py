@@ -24,6 +24,7 @@ from repro.linalg.kernels import (
 from repro.parallel.descriptors import (
     ALL_SPEC_KINDS,
     BuildRowSpec,
+    CgMatvecSpec,
     DenseGemmSpec,
     GemmTrailSpec,
     PotrfSpec,
@@ -81,6 +82,8 @@ def _specimens():
                                      lower_solve=True),
         BuildRowSpec: BuildRowSpec(gamma=0.01, snp_block=64, row_start=0,
                                    row_stop=8, col_end=24),
+        CgMatvecSpec: CgMatvecSpec(alpha=0.5, row_start=16, row_stop=32,
+                                   transposes=(False, False, True)),
         DenseGemmSpec: DenseGemmSpec(tile_size=8, precision=Precision.FP32,
                                      transa=False, transb=True),
     }
@@ -185,6 +188,27 @@ class TestBehaviorEquality:
                                         row_start=0, row_stop=8, col_end=24))
         out = spec.run(pickle.loads(pickle.dumps(ctx)))
         expect = compute_kernel_rows(ctx, 0.01, 64, slice(0, 8), slice(0, 24))
+        np.testing.assert_array_equal(out, expect)
+
+    def test_cg_matvec(self):
+        from repro.linalg.cg import kernel_matvec
+        from repro.tiles.matrix import TileMatrix
+
+        k_dense = _rng(16).standard_normal((3 * T, 3 * T))
+        k_dense = k_dense @ k_dense.T / (3 * T)
+        kernel = TileMatrix.from_dense(k_dense, T, Precision.FP32,
+                                       symmetric=True)
+        v = _rng(17).standard_normal((3 * T, 2))
+        # the insertion site ships *stored* tiles plus a transpose mask
+        # for the symmetric upper triangle
+        keys = [kernel._stored_key(1, j) for j in range(3)]
+        spec = _round_trip(CgMatvecSpec(alpha=0.5, row_start=T, row_stop=2 * T,
+                                        transposes=tuple(t for _, t in keys)))
+        tiles = tuple(kernel.get_tile(*key) for key, _ in keys)
+        out = spec.run(v, None, *tiles)
+        # the closure path (kernel_matvec without a runtime) computes the
+        # same row band — bit for bit
+        expect = kernel_matvec(kernel, v, alpha=0.5)[T:2 * T]
         np.testing.assert_array_equal(out, expect)
 
     def test_dense_gemm(self):
